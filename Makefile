@@ -1,0 +1,46 @@
+# Developer entry points. Everything is plain `go` underneath; the
+# targets just encode the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments paper fmt vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper figure plus kernel micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures at CI scale (minutes).
+experiments:
+	$(GO) run ./cmd/ppmbench -exp all
+
+# Regenerate at the paper's scale: 32 MB stripes, 10 iterations, full grids.
+paper:
+	$(GO) run ./cmd/ppmbench -exp all -paper
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

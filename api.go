@@ -1,0 +1,265 @@
+package ppm
+
+import (
+	"ppm/internal/array"
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/decode"
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Code is an erasure-code instance exposed as a parity-check matrix over
+// GF(2^w) plus its parity positions. SD, PMDS, LRC and RS all implement
+// it; PPM plans and decodes any of them uniformly.
+type Code = codes.Code
+
+// Scenario is a failure pattern: the set of unreadable sector indices.
+type Scenario = codes.Scenario
+
+// Stripe is one stripe's worth of sector buffers (n strips x r rows).
+type Stripe = stripe.Stripe
+
+// Decoder runs PPM encode/decode against a bound code instance.
+type Decoder = core.Decoder
+
+// Option configures a Decoder.
+type Option = core.Option
+
+// Plan is a prepared decode: log table, partition, per-sub-matrix
+// inverses and the chosen calculation sequences, plus the cost model.
+type Plan = core.Plan
+
+// Strategy selects the planning policy.
+type Strategy = core.Strategy
+
+// Planning strategies. StrategyAuto performs the paper's full cost
+// optimisation (falling back to the whole-matrix MatrixFirst decode in
+// the rare configurations where C2 < C4); StrategyPPM is the production
+// fast path; the whole-matrix strategies are the traditional baselines.
+const (
+	StrategyAuto             = core.StrategyAuto
+	StrategyPPM              = core.StrategyPPM
+	StrategyPPMC3            = core.StrategyPPMMatrixFirstRest
+	StrategyWholeNormal      = core.StrategyWholeNormal
+	StrategyWholeMatrixFirst = core.StrategyWholeMatrixFirst
+)
+
+// Stats counts mult_XORs region operations across decodes — the paper's
+// computational-cost unit. Attach one with WithStats to audit a decode
+// against the C1..C4 model.
+type Stats = kernel.Stats
+
+// SD is a Sector-Disk code SD^{m,s}_{n,r}: n disks, r rows, the last m
+// disks plus s extra sectors hold coding information.
+type SD = codes.SD
+
+// PMDS is a Partial-MDS code, evaluated through the SD construction as
+// in the paper.
+type PMDS = codes.PMDS
+
+// LRC is a (k, l, g) Local Reconstruction Code: l local parities over
+// balanced groups plus g global parities.
+type LRC = codes.LRC
+
+// RS is the symmetric-parity Reed-Solomon (Cauchy) baseline.
+type RS = codes.RS
+
+// LRCLocality is an LRC with (r, δ) locality: δ-1 local parities per
+// group form a local MDS code, so up to δ-1 failures in a group repair
+// locally — and PPM extracts them as one multi-row independent
+// sub-matrix.
+type LRCLocality = codes.LRCLocality
+
+// EVENODD is the classic XOR-only RAID-6 code (Blaum et al. 1995),
+// included as a symmetric-parity baseline.
+type EVENODD = codes.EVENODD
+
+// RDP is Row-Diagonal Parity (Corbett et al. 2004), the other classic
+// XOR-only RAID-6 baseline.
+type RDP = codes.RDP
+
+// NewSD constructs an SD^{m,s}_{n,r} instance, choosing the word size
+// and coding coefficients automatically.
+func NewSD(n, r, m, s int) (*SD, error) { return codes.NewSD(n, r, m, s) }
+
+// NewPMDS constructs a PMDS(m, s) instance on an n x r stripe.
+func NewPMDS(n, r, m, s int) (*PMDS, error) { return codes.NewPMDS(n, r, m, s) }
+
+// NewLRC constructs a (k, l, g) LRC instance.
+func NewLRC(k, l, g int) (*LRC, error) { return codes.NewLRC(k, l, g) }
+
+// NewRS constructs an (n, n-m) Reed-Solomon instance with r rows.
+func NewRS(n, r, m int) (*RS, error) { return codes.NewRS(n, r, m) }
+
+// NewLRCLocality constructs a (k, l, δ, g) locality LRC.
+func NewLRCLocality(k, l, delta, g int) (*LRCLocality, error) {
+	return codes.NewLRCLocality(k, l, delta, g)
+}
+
+// NewEVENODD constructs the EVENODD instance for prime p (n = p+2
+// disks, r = p-1 rows).
+func NewEVENODD(p int) (*EVENODD, error) { return codes.NewEVENODD(p) }
+
+// NewRDP constructs the RDP instance for prime p (n = p+1 disks,
+// r = p-1 rows).
+func NewRDP(p int) (*RDP, error) { return codes.NewRDP(p) }
+
+// BlockParallelDecode runs the related-work block-level parallelism
+// baseline: the traditional whole-matrix computation with the byte
+// ranges split across T workers. Same total computation as
+// TraditionalDecode (cost C1); contrast with PPM's matrix-oriented
+// partition, which reduces the computation to C4 as well.
+func BlockParallelDecode(c Code, st *Stripe, sc Scenario, threads int, stats *Stats) error {
+	return decode.DecodeBlockParallel(c, st, sc, threads, decode.Options{Stats: stats})
+}
+
+// NewScenario builds a validated failure scenario from sector indices.
+func NewScenario(c Code, faulty []int) (Scenario, error) { return codes.NewScenario(c, faulty) }
+
+// EncodingScenario returns the scenario whose erasures are the code's
+// parity positions; decoding it is encoding.
+func EncodingScenario(c Code) Scenario { return codes.EncodingScenario(c) }
+
+// DataPositions returns the sector indices that hold user data.
+func DataPositions(c Code) []int { return codes.DataPositions(c) }
+
+// Decodable reports whether the failure pattern is recoverable by the
+// code instance.
+func Decodable(c Code, sc Scenario) bool { return codes.Decodable(c, sc) }
+
+// CensusResult summarises a fault-tolerance census.
+type CensusResult = codes.CensusResult
+
+// Census measures the fraction of T-failure patterns the instance can
+// decode, exhaustively when C(sectors, T) fits the pattern budget and
+// by seeded sampling otherwise. For the Azure (12,2,2)-LRC this
+// reproduces the published profile: 100% of 3-failure patterns, 85.55%
+// ("86%") of 4-failure patterns.
+func Census(c Code, t, maxPatterns int, seed int64) (CensusResult, error) {
+	return codes.Census(c, t, maxPatterns, seed)
+}
+
+// NewStripe allocates an n x r stripe with the given sector size
+// (a positive multiple of 4 bytes).
+func NewStripe(n, r, sectorSize int) (*Stripe, error) { return stripe.New(n, r, sectorSize) }
+
+// StripeForCode allocates a stripe matching the code's geometry with a
+// total size as close to stripeBytes as alignment allows.
+func StripeForCode(c Code, stripeBytes int) (*Stripe, error) { return stripe.ForCode(c, stripeBytes) }
+
+// NewDecoder builds a PPM decoder for the code.
+func NewDecoder(c Code, opts ...Option) *Decoder { return core.NewDecoder(c, opts...) }
+
+// WithThreads sets the worker count T for the parallel phase (<= 0
+// selects the paper's default min(4, cores)).
+func WithThreads(t int) Option { return core.WithThreads(t) }
+
+// WithStrategy overrides the planning strategy (default StrategyPPM).
+func WithStrategy(s Strategy) Option { return core.WithStrategy(s) }
+
+// WithStats attaches an operation counter shared across decodes.
+func WithStats(s *Stats) Option { return core.WithStats(s) }
+
+// Backend selects the decoder's arithmetic engine.
+type Backend = core.Backend
+
+// Arithmetic back ends: table-driven GF(2^w) (default) or the
+// Cauchy-RS bit-matrix XOR schedule of the paper's reference [8].
+// A stripe must be encoded and decoded under the same back end.
+const (
+	BackendTable     = core.BackendTable
+	BackendBitMatrix = core.BackendBitMatrix
+)
+
+// WithBackend selects the decoder's arithmetic engine.
+func WithBackend(b Backend) Option { return core.WithBackend(b) }
+
+// WithHybrid enables the hybrid executor (extension beyond the paper):
+// serial plan phases are byte-range-chunked across the worker budget,
+// so even p <= 1 partitions keep every core busy. Bytes and operation
+// counts are identical to the standard executor's.
+func WithHybrid(enabled bool) Option { return core.WithHybrid(enabled) }
+
+// BuildPlan prepares a decode plan without touching data, for
+// inspection, cost analysis or reuse across stripes.
+func BuildPlan(c Code, sc Scenario, strategy Strategy) (*Plan, error) {
+	return core.BuildPlan(c, sc, strategy)
+}
+
+// TraditionalDecode runs the serial whole-matrix baseline (Normal
+// sequence, cost C1) — the method PPM is benchmarked against.
+func TraditionalDecode(c Code, st *Stripe, sc Scenario, stats *Stats) error {
+	return decode.Decode(c, st, sc, decode.Options{Stats: stats})
+}
+
+// TraditionalEncode encodes with the serial whole-matrix baseline.
+func TraditionalEncode(c Code, st *Stripe, stats *Stats) error {
+	return decode.Encode(c, st, decode.Options{Stats: stats})
+}
+
+// Verify checks H * B == 0 over the stripe: true iff the stripe holds a
+// consistent codeword.
+func Verify(c Code, st *Stripe) (bool, error) { return decode.Verify(c, st) }
+
+// ScrubResult reports what a scrub found: a clean stripe, a located
+// single corruption, or detected-but-ambiguous corruption.
+type ScrubResult = decode.ScrubResult
+
+// Scrub detects silent data corruption from the parity-check syndrome
+// and localises it when exactly one sector is corrupted and the code's
+// H columns make the explanation unique.
+func Scrub(c Code, st *Stripe) (ScrubResult, error) { return decode.Scrub(c, st) }
+
+// ScrubAndRepair scrubs and, when a single corrupted sector is located,
+// recovers it in place as a one-erasure decode.
+func ScrubAndRepair(c Code, st *Stripe, stats *Stats) (ScrubResult, error) {
+	return decode.ScrubAndRepair(c, st, decode.Options{Stats: stats})
+}
+
+// PartialSelection lists which of a plan's sub-decodes a partial decode
+// must run to materialise a set of wanted sectors.
+type PartialSelection = core.PartialSelection
+
+// DecodeSectors recovers only the wanted sectors of the scenario — the
+// degraded-read path. PPM's partition makes this minimal: an LRC block
+// costs one local-group decode; an SD sector costs its stripe row's
+// sub-decode; only blocks in H_rest pull in the full closure.
+func DecodeSectors(c Code, st *Stripe, sc Scenario, wanted []int, opts ...Option) error {
+	return NewDecoder(c, opts...).DecodeSectors(st, sc, wanted)
+}
+
+// Updater implements the small-write path: patch the parity sectors
+// affected by one data-sector overwrite instead of re-encoding the
+// stripe (cost: the nonzero count of the generator column, e.g. 3
+// region ops for an LRC(k,3,2) block vs a full re-encode).
+type Updater = core.Updater
+
+// NewUpdater derives and compiles the code's generator for in-place
+// parity patching.
+func NewUpdater(c Code) (*Updater, error) { return core.NewUpdater(c) }
+
+// Array is a multi-stripe erasure-coded disk array with failure
+// injection and PPM-driven whole-array reconstruction.
+type Array = array.Array
+
+// RepairStats summarises a whole-array reconstruction.
+type RepairStats = array.RepairStats
+
+// NewArray builds an encoded array of numStripes stripes with
+// deterministic random data.
+func NewArray(c Code, numStripes, sectorSize int, seed int64) (*Array, error) {
+	return array.New(c, numStripes, sectorSize, seed)
+}
+
+// FieldFor returns the word size w (8, 16 or 32) the library selects
+// for a stripe with the given number of sectors — the paper's
+// field-switching rule behind the jagged lines of Figures 8-10.
+func FieldFor(sectors int) (int, error) {
+	f, err := gf.FieldFor(sectors)
+	if err != nil {
+		return 0, err
+	}
+	return f.W(), nil
+}

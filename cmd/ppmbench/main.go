@@ -1,0 +1,89 @@
+// Command ppmbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	ppmbench -list
+//	ppmbench -exp fig7
+//	ppmbench -exp all -paper          # the paper's 32 MB / 10-iteration setup
+//	ppmbench -exp fig9 -stripe 8388608 -iters 5 -threads 4 -seed 7 -full
+//
+// Output is one tab-separated table per experiment, with the series the
+// corresponding figure plots. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ppm/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig4..fig11, headline, all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		stripe  = flag.Int("stripe", 0, "stripe size in bytes (default per config)")
+		iters   = flag.Int("iters", 0, "iterations per measurement")
+		threads = flag.Int("threads", 0, "PPM worker count T (0 = min(4, cores))")
+		seed    = flag.Int64("seed", 1, "scenario RNG seed")
+		full    = flag.Bool("full", false, "full parameter grids (slower)")
+		paper   = flag.Bool("paper", false, "the paper's measurement setup (32 MB stripes, 10 iterations, full grids)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("  all       run everything")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	if *paper {
+		cfg = harness.PaperConfig()
+	}
+	if *stripe > 0 {
+		cfg.StripeBytes = *stripe
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	if *full {
+		cfg.Quick = false
+	}
+
+	fmt.Printf("# host: %d cores (GOMAXPROCS %d); stripe %d bytes, %d iterations, T=%d, seed %d\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.StripeBytes, cfg.Iterations, cfg.Threads, cfg.Seed)
+
+	var toRun []harness.Experiment
+	if *exp == "all" {
+		toRun = harness.Registry()
+	} else {
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ppmbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("\n== %s: %s ==\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ppmbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

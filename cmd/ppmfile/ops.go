@@ -1,0 +1,362 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/decode"
+	"ppm/internal/stripe"
+)
+
+func runEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	dir := fs.String("dir", "", "output shard directory")
+	n := fs.Int("n", 8, "disks")
+	r := fs.Int("r", 16, "rows per strip")
+	m := fs.Int("m", 2, "coding disks")
+	s := fs.Int("s", 2, "coding sectors")
+	sector := fs.Int("sector", 4096, "sector size in bytes")
+	threads := fs.Int("threads", 0, "PPM workers (0 = min(4, cores))")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *dir == "" {
+		return fmt.Errorf("encode needs -in and -dir")
+	}
+	if *sector < 4 || *sector%4 != 0 {
+		return fmt.Errorf("sector size must be a positive multiple of 4")
+	}
+
+	sd, err := codes.NewSD(*n, *r, *m, *s)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	dataPositions := codes.DataPositions(sd)
+	payloadPerStripe := len(dataPositions) * *sector
+	stripes := (len(data) + payloadPerStripe - 1) / payloadPerStripe
+	if stripes == 0 {
+		stripes = 1
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	mf := manifest{
+		N: *n, R: *r, M: *m, S: *s,
+		Word:       sd.Field().W(),
+		Coeffs:     sd.Coefficients(),
+		SectorSize: *sector,
+		Stripes:    stripes,
+		FileSize:   int64(len(data)),
+		FileName:   filepath.Base(*in),
+	}
+	if err := writeManifest(*dir, mf); err != nil {
+		return err
+	}
+	ds, err := openStore(*dir, mf, true)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	st, err := stripe.New(*n, *r, *sector)
+	if err != nil {
+		return err
+	}
+	enc := core.NewDecoder(sd, core.WithThreads(*threads))
+	offset := 0
+	for idx := 0; idx < stripes; idx++ {
+		// Lay the file bytes into the data sectors, zero-padding the tail.
+		for _, pos := range dataPositions {
+			sec := st.Sector(pos)
+			nCopied := copy(sec, data[min(offset, len(data)):])
+			for b := nCopied; b < len(sec); b++ {
+				sec[b] = 0
+			}
+			offset += len(sec)
+		}
+		if err := enc.Encode(st); err != nil {
+			return fmt.Errorf("stripe %d: %w", idx, err)
+		}
+		if err := ds.writeStripe(idx, st); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("encoded %d bytes as %s: %d stripes x %d disks (%d-byte sectors), tolerates %d disk + %d sector failures per stripe\n",
+		len(data), sd.Name(), stripes, *n, *sector, *m, *s)
+	return nil
+}
+
+func runDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory")
+	out := fs.String("out", "", "output file (default: the original name in the current directory)")
+	threads := fs.Int("threads", 0, "PPM workers (0 = min(4, cores))")
+	repair := fs.Bool("repair", true, "rewrite missing strip files after recovery")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("decode needs -dir")
+	}
+	mf, err := readManifest(*dir)
+	if err != nil {
+		return err
+	}
+	sd, err := codeFromManifest(mf)
+	if err != nil {
+		return err
+	}
+	ds, err := openStore(*dir, mf, false)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	missing := ds.missingDisks()
+	if len(missing) > mf.M {
+		return fmt.Errorf("%d disks missing (%v); %s tolerates only %d", len(missing), missing, sd.Name(), mf.M)
+	}
+	var sc codes.Scenario
+	if len(missing) > 0 {
+		var faulty []int
+		for i := 0; i < mf.R; i++ {
+			for _, j := range missing {
+				faulty = append(faulty, i*mf.N+j)
+			}
+		}
+		sc, err = codes.NewScenario(sd, faulty)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovering disks %v with PPM\n", missing)
+	}
+
+	if *out == "" {
+		*out = mf.FileName
+	}
+	outFile, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer outFile.Close()
+
+	// Re-create missing strip files when repairing.
+	var repairFiles map[int]*os.File
+	if *repair && len(missing) > 0 {
+		repairFiles = make(map[int]*os.File, len(missing))
+		for _, j := range missing {
+			f, err := os.Create(filepath.Join(*dir, diskFileName(j)))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			repairFiles[j] = f
+		}
+	}
+
+	dec := core.NewDecoder(sd, core.WithThreads(*threads))
+	var plan *core.Plan
+	if len(sc.Faulty) > 0 {
+		// All stripes fail identically (whole disks), so one plan serves
+		// every stripe — the DecodeWithPlan fast path.
+		plan, err = dec.Plan(sc)
+		if err != nil {
+			return err
+		}
+	}
+
+	st, err := stripe.New(mf.N, mf.R, mf.SectorSize)
+	if err != nil {
+		return err
+	}
+	dataPositions := codes.DataPositions(sd)
+	remaining := mf.FileSize
+	for idx := 0; idx < mf.Stripes; idx++ {
+		if err := ds.readStripe(idx, st); err != nil {
+			return err
+		}
+		if plan != nil {
+			if err := dec.DecodeWithPlan(plan, st); err != nil {
+				return fmt.Errorf("stripe %d: %w", idx, err)
+			}
+			for j, f := range repairFiles {
+				buf := make([]byte, ds.stripBytes())
+				for i := 0; i < mf.R; i++ {
+					copy(buf[i*mf.SectorSize:(i+1)*mf.SectorSize], st.SectorAt(i, j))
+				}
+				if _, err := f.WriteAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
+					return err
+				}
+			}
+		}
+		for _, pos := range dataPositions {
+			if remaining <= 0 {
+				break
+			}
+			sec := st.Sector(pos)
+			chunk := int64(len(sec))
+			if chunk > remaining {
+				chunk = remaining
+			}
+			if _, err := outFile.Write(sec[:chunk]); err != nil {
+				return err
+			}
+			remaining -= chunk
+		}
+	}
+	if remaining != 0 {
+		return fmt.Errorf("short archive: %d bytes unaccounted for", remaining)
+	}
+	fmt.Printf("restored %q (%d bytes)\n", *out, mf.FileSize)
+	if len(repairFiles) > 0 {
+		fmt.Printf("repaired %d strip file(s)\n", len(repairFiles))
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("verify needs -dir")
+	}
+	mf, err := readManifest(*dir)
+	if err != nil {
+		return err
+	}
+	sd, err := codeFromManifest(mf)
+	if err != nil {
+		return err
+	}
+	ds, err := openStore(*dir, mf, false)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	if missing := ds.missingDisks(); len(missing) > 0 {
+		return fmt.Errorf("disks %v missing; run decode to repair first", missing)
+	}
+	st, err := stripe.New(mf.N, mf.R, mf.SectorSize)
+	if err != nil {
+		return err
+	}
+	for idx := 0; idx < mf.Stripes; idx++ {
+		if err := ds.readStripe(idx, st); err != nil {
+			return err
+		}
+		ok, err := decode.Verify(sd, st)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("stripe %d fails the parity check (silent corruption)", idx)
+		}
+	}
+	fmt.Printf("all %d stripes verify clean under %s\n", mf.Stripes, sd.Name())
+	return nil
+}
+
+// runScrub walks every stripe looking for silent corruption (sectors
+// that read back wrong bytes without an I/O error), localising and
+// optionally repairing single-sector damage via the parity-check
+// syndrome.
+func runScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory")
+	repair := fs.Bool("repair", false, "repair located corruption in place")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("scrub needs -dir")
+	}
+	mf, err := readManifest(*dir)
+	if err != nil {
+		return err
+	}
+	sd, err := codeFromManifest(mf)
+	if err != nil {
+		return err
+	}
+	ds, err := openStore(*dir, mf, false)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	if missing := ds.missingDisks(); len(missing) > 0 {
+		return fmt.Errorf("disks %v missing; scrub handles corruption, decode handles erasures", missing)
+	}
+	st, err := stripe.New(mf.N, mf.R, mf.SectorSize)
+	if err != nil {
+		return err
+	}
+	clean, located, ambiguous := 0, 0, 0
+	for idx := 0; idx < mf.Stripes; idx++ {
+		if err := ds.readStripe(idx, st); err != nil {
+			return err
+		}
+		res, err := decode.Scrub(sd, st)
+		if err != nil {
+			return err
+		}
+		switch {
+		case res.Clean:
+			clean++
+		case res.Located:
+			located++
+			fmt.Printf("stripe %d: silent corruption located at sector %d (row %d, disk %d)\n",
+				idx, res.Sector, res.Sector/mf.N, res.Sector%mf.N)
+			if *repair {
+				if _, err := decode.ScrubAndRepair(sd, st, decode.Options{}); err != nil {
+					return err
+				}
+				if err := writeBackStripe(*dir, ds, idx, st); err != nil {
+					return err
+				}
+				fmt.Printf("stripe %d: repaired and written back\n", idx)
+			}
+		default:
+			ambiguous++
+			fmt.Printf("stripe %d: corruption detected but not localisable (multiple sectors?)\n", idx)
+		}
+	}
+	fmt.Printf("scrub complete: %d clean, %d located, %d ambiguous of %d stripes\n",
+		clean, located, ambiguous, mf.Stripes)
+	if ambiguous > 0 {
+		return fmt.Errorf("%d stripe(s) need manual attention", ambiguous)
+	}
+	return nil
+}
+
+// writeBackStripe rewrites one stripe's sectors into the strip files.
+func writeBackStripe(dir string, ds *diskStore, idx int, st *stripe.Stripe) error {
+	for j := 0; j < ds.mf.N; j++ {
+		f, err := os.OpenFile(filepath.Join(dir, diskFileName(j)), os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, ds.stripBytes())
+		for i := 0; i < ds.mf.R; i++ {
+			copy(buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize], st.SectorAt(i, j))
+		}
+		if _, err := f.WriteAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeInput(t *testing.T, dir string, size int) (string, []byte) {
+	t.Helper()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	path := filepath.Join(dir, "input.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mf := manifest{
+		N: 8, R: 16, M: 2, S: 2, Word: 8,
+		Coeffs:     []uint32{1, 2, 4, 8},
+		SectorSize: 4096, Stripes: 3, FileSize: 12345, FileName: "x.bin",
+	}
+	if err := writeManifest(dir, mf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != mf.N || got.FileSize != mf.FileSize || len(got.Coeffs) != 4 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := codeFromManifest(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := readManifest(dir); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManifest(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"n":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManifest(dir); err == nil {
+		t.Error("inconsistent manifest accepted")
+	}
+}
+
+// TestEncodeDecodeRoundTrip: encode a file, delete m disks, decode, and
+// compare byte-for-byte; then verify the repaired directory.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	work := t.TempDir()
+	in, data := writeInput(t, work, 300_000)
+	shards := filepath.Join(work, "shards")
+	out := filepath.Join(work, "restored.bin")
+
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "6", "-r", "8", "-m", "2", "-s", "1", "-sector", "1024"}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for _, j := range []int{1, 4} {
+		if err := os.Remove(filepath.Join(shards, diskFileName(j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("restored file differs from the original")
+	}
+	// Repair rewrote the strip files; the directory must verify clean.
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+}
+
+func TestDecodeWithoutFailures(t *testing.T) {
+	work := t.TempDir()
+	in, data := writeInput(t, work, 10_000)
+	shards := filepath.Join(work, "shards")
+	out := filepath.Join(work, "plain.bin")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("lossless path corrupted the file")
+	}
+}
+
+func TestDecodeTooManyMissing(t *testing.T) {
+	work := t.TempDir()
+	in, _ := writeInput(t, work, 5_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{0, 1} {
+		if err := os.Remove(filepath.Join(shards, diskFileName(j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runDecode([]string{"-dir", shards, "-out", filepath.Join(work, "x")}); err == nil {
+		t.Fatal("2 missing disks accepted by an m=1 code")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	work := t.TempDir()
+	in, _ := writeInput(t, work, 20_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("clean dir failed verify: %v", err)
+	}
+	// Flip one bit in one strip file.
+	path := filepath.Join(shards, diskFileName(2))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[100] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err == nil {
+		t.Fatal("verify missed a flipped bit")
+	}
+}
+
+func TestEncodeArgValidation(t *testing.T) {
+	if err := runEncode([]string{"-in", "", "-dir", ""}); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := runEncode([]string{"-in", "x", "-dir", "y", "-sector", "7"}); err == nil {
+		t.Error("unaligned sector accepted")
+	}
+	if err := runDecode([]string{"-dir", ""}); err == nil {
+		t.Error("decode without dir accepted")
+	}
+	if err := runVerify([]string{"-dir", ""}); err == nil {
+		t.Error("verify without dir accepted")
+	}
+}
+
+func TestScrubLocatesAndRepairs(t *testing.T) {
+	work := t.TempDir()
+	in, data := writeInput(t, work, 50_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "6", "-r", "4", "-m", "2", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit deep inside a strip file: silent corruption.
+	path := filepath.Join(shards, diskFileName(3))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[700] ^= 0x08
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScrub([]string{"-dir", shards}); err != nil {
+		t.Fatalf("report-only scrub errored: %v", err)
+	}
+	if err := runScrub([]string{"-dir", shards, "-repair"}); err != nil {
+		t.Fatalf("repair scrub: %v", err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("verify after scrub repair: %v", err)
+	}
+	// The restored archive still matches the original payload.
+	out := filepath.Join(work, "restored.bin")
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("payload changed")
+	}
+}
+
+func TestScrubCleanDirectory(t *testing.T) {
+	work := t.TempDir()
+	in, _ := writeInput(t, work, 9_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScrub([]string{"-dir", shards}); err != nil {
+		t.Fatalf("clean scrub errored: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppm/internal/codes"
+	"ppm/internal/gf"
+	"ppm/internal/stripe"
+)
+
+// manifest describes an encoded shard directory.
+type manifest struct {
+	N          int      `json:"n"`
+	R          int      `json:"r"`
+	M          int      `json:"m"`
+	S          int      `json:"s"`
+	Word       int      `json:"word"`
+	Coeffs     []uint32 `json:"coeffs"`
+	SectorSize int      `json:"sector_size"`
+	Stripes    int      `json:"stripes"`
+	FileSize   int64    `json:"file_size"`
+	FileName   string   `json:"file_name"`
+}
+
+const manifestName = "manifest.json"
+
+func diskFileName(j int) string { return fmt.Sprintf("disk_%02d.strip", j) }
+
+func writeManifest(dir string, mf manifest) error {
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644)
+}
+
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, fmt.Errorf("reading manifest: %w", err)
+	}
+	var mf manifest
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return manifest{}, fmt.Errorf("parsing manifest: %w", err)
+	}
+	if mf.N < 2 || mf.R < 1 || mf.SectorSize < 4 || mf.Stripes < 1 || mf.FileSize < 0 {
+		return manifest{}, fmt.Errorf("manifest is inconsistent: %+v", mf)
+	}
+	return mf, nil
+}
+
+// codeFromManifest rebuilds the exact SD instance used at encode time
+// (same field and coefficients, so parity bytes match).
+func codeFromManifest(mf manifest) (*codes.SD, error) {
+	f, err := gf.ForWord(mf.Word)
+	if err != nil {
+		return nil, err
+	}
+	return codes.NewSDWithCoefficients(mf.N, mf.R, mf.M, mf.S, f, mf.Coeffs)
+}
+
+// diskStore reads and writes the per-disk strip files for one stripe at
+// a time. Strip file layout: stripe 0's r sectors, then stripe 1's, ...
+type diskStore struct {
+	dir string
+	mf  manifest
+	fh  []*os.File // index by disk; nil when missing/unreadable
+}
+
+func openStore(dir string, mf manifest, write bool) (*diskStore, error) {
+	ds := &diskStore{dir: dir, mf: mf, fh: make([]*os.File, mf.N)}
+	for j := 0; j < mf.N; j++ {
+		path := filepath.Join(dir, diskFileName(j))
+		var f *os.File
+		var err error
+		if write {
+			f, err = os.Create(path)
+		} else {
+			f, err = os.Open(path)
+		}
+		if err != nil {
+			if write {
+				ds.Close()
+				return nil, err
+			}
+			continue // missing disk: recoverable at decode time
+		}
+		ds.fh[j] = f
+	}
+	return ds, nil
+}
+
+// missingDisks lists disks whose strip file could not be opened.
+func (ds *diskStore) missingDisks() []int {
+	var missing []int
+	for j, f := range ds.fh {
+		if f == nil {
+			missing = append(missing, j)
+		}
+	}
+	return missing
+}
+
+// stripBytes is the per-stripe byte count of one disk's strip.
+func (ds *diskStore) stripBytes() int { return ds.mf.R * ds.mf.SectorSize }
+
+// readStripe loads stripe number idx into st; missing disks' sectors
+// are left zeroed.
+func (ds *diskStore) readStripe(idx int, st *stripe.Stripe) error {
+	buf := make([]byte, ds.stripBytes())
+	for j, f := range ds.fh {
+		if f == nil {
+			continue
+		}
+		if _, err := f.ReadAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
+			return fmt.Errorf("disk %d stripe %d: %w", j, idx, err)
+		}
+		for i := 0; i < ds.mf.R; i++ {
+			copy(st.SectorAt(i, j), buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize])
+		}
+	}
+	return nil
+}
+
+// writeStripe appends stripe idx from st to every open strip file.
+func (ds *diskStore) writeStripe(idx int, st *stripe.Stripe) error {
+	buf := make([]byte, ds.stripBytes())
+	for j, f := range ds.fh {
+		if f == nil {
+			continue
+		}
+		for i := 0; i < ds.mf.R; i++ {
+			copy(buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize], st.SectorAt(i, j))
+		}
+		if _, err := f.WriteAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
+			return fmt.Errorf("disk %d stripe %d: %w", j, idx, err)
+		}
+	}
+	return nil
+}
+
+func (ds *diskStore) Close() {
+	for _, f := range ds.fh {
+		if f != nil {
+			f.Close()
+		}
+	}
+}

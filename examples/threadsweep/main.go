@@ -1,0 +1,74 @@
+// Threadsweep measures one row of the paper's Figure 7 on the local
+// machine: the improvement ratio of PPM over the traditional decode as
+// the worker count T grows, for SD^{2,2}_{16,16} on a 16 MB stripe.
+// On multi-core hosts the improvement climbs until T reaches the core
+// count and then flattens, as in the paper; on a single core only the
+// computational-cost reduction (C4 < C1) remains.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ppm"
+)
+
+const (
+	stripeBytes = 16 << 20
+	iterations  = 5
+)
+
+func main() {
+	code, err := ppm.NewSD(16, 16, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sc, err := code.WorstCaseScenario(rng, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on a %d MB stripe, %d cores available\n", code.Name(), stripeBytes>>20, runtime.NumCPU())
+
+	st, err := ppm.StripeForCode(code, stripeBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.FillDataRandom(1, ppm.DataPositions(code))
+	if err := ppm.TraditionalEncode(code, st, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	tradSec := timeDecode(st, sc, func(s *ppm.Stripe) error {
+		return ppm.TraditionalDecode(code, s, sc, nil)
+	})
+	fmt.Printf("traditional decode: %7.2f MB/s\n", mbps(st, tradSec))
+
+	for _, t := range []int{1, 2, 4, 8} {
+		dec := ppm.NewDecoder(code, ppm.WithThreads(t))
+		sec := timeDecode(st, sc, func(s *ppm.Stripe) error { return dec.Decode(s, sc) })
+		fmt.Printf("PPM T=%d:            %7.2f MB/s  improvement %+.2f%%\n",
+			t, mbps(st, sec), 100*(tradSec/sec-1))
+	}
+}
+
+func timeDecode(st *ppm.Stripe, sc ppm.Scenario, dec func(*ppm.Stripe) error) float64 {
+	var total time.Duration
+	for i := 0; i < iterations; i++ {
+		work := st.Clone()
+		work.Erase(sc.Faulty)
+		start := time.Now()
+		if err := dec(work); err != nil {
+			log.Fatal(err)
+		}
+		total += time.Since(start)
+	}
+	return total.Seconds() / iterations
+}
+
+func mbps(st *ppm.Stripe, sec float64) float64 {
+	return float64(st.TotalBytes()) / 1e6 / sec
+}

@@ -1,0 +1,178 @@
+package ppm
+
+// Cross-module integration sweep: every code family x every strategy x
+// several thread counts, against randomized scenarios, checking byte
+// equality with the pristine stripe and cost-model consistency on each
+// decode. This is the widest net in the suite; -short trims it.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+type sweepCase struct {
+	name string
+	code Code
+	gen  func(rng *rand.Rand) (Scenario, error)
+}
+
+func sweepCases(t *testing.T) []sweepCase {
+	t.Helper()
+	sd1, err := NewSD(6, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := NewSD(9, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd3, err := NewSD(7, 6, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmds, err := NewPMDS(6, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrc, err := NewLRC(12, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRS(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp, err := NewRDP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lloc, err := NewLRCLocality(12, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []sweepCase{
+		{"sd-1-1", sd1, func(rng *rand.Rand) (Scenario, error) { return sd1.WorstCaseScenario(rng, 1) }},
+		{"sd-2-2", sd2, func(rng *rand.Rand) (Scenario, error) { return sd2.WorstCaseScenario(rng, 1+rng.Intn(2)) }},
+		{"sd-3-3", sd3, func(rng *rand.Rand) (Scenario, error) { return sd3.WorstCaseScenario(rng, 1+rng.Intn(3)) }},
+		{"pmds", pmds, func(rng *rand.Rand) (Scenario, error) { return pmds.WorstCaseScenario(rng, 1) }},
+		{"lrc", lrc, func(rng *rand.Rand) (Scenario, error) { return lrc.WorstCaseScenario(rng) }},
+		{"lrc-degraded", lrc, func(rng *rand.Rand) (Scenario, error) { return lrc.DegradedReadScenario(rng), nil }},
+		{"rs", rs, func(rng *rand.Rand) (Scenario, error) { return rs.WorstCaseScenario(rng) }},
+		{"evenodd", eo, func(rng *rand.Rand) (Scenario, error) { return eo.WorstCaseScenario(rng) }},
+		{"rdp", rdp, func(rng *rand.Rand) (Scenario, error) { return rdp.WorstCaseScenario(rng) }},
+		{"lrc-locality", lloc, func(rng *rand.Rand) (Scenario, error) { return lloc.WorstCaseScenario(rng) }},
+		{"lrc-locality-local", lloc, func(rng *rand.Rand) (Scenario, error) { return lloc.LocalScenario(rng, 2) }},
+	}
+}
+
+func TestIntegrationSweep(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	strategies := []Strategy{StrategyAuto, StrategyPPM, StrategyPPMC3, StrategyWholeNormal, StrategyWholeMatrixFirst}
+	threadCounts := []int{1, 4}
+
+	for _, cse := range sweepCases(t) {
+		cse := cse
+		t.Run(cse.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(cse.name)) * 97))
+			st, err := StripeForCode(cse.code, 32<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.FillDataRandom(1, DataPositions(cse.code))
+			if err := TraditionalEncode(cse.code, st, nil); err != nil {
+				t.Fatal(err)
+			}
+			pristine := st.Clone()
+
+			for trial := 0; trial < trials; trial++ {
+				sc, err := cse.gen(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, strat := range strategies {
+					for _, threads := range threadCounts {
+						label := fmt.Sprintf("trial=%d strat=%v T=%d faulty=%v", trial, strat, threads, sc.Faulty)
+						work := pristine.Clone()
+						work.Scribble(int64(trial), sc.Faulty)
+						var stats Stats
+						dec := NewDecoder(cse.code,
+							WithStrategy(strat), WithThreads(threads), WithStats(&stats))
+						if err := dec.Decode(work, sc); err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if !work.Equal(pristine) {
+							t.Fatalf("%s: bytes differ after decode", label)
+						}
+						plan, err := BuildPlan(cse.code, sc, strat)
+						if err != nil {
+							t.Fatalf("%s: plan: %v", label, err)
+						}
+						if stats.MultXORs() != plan.Costs.Chosen {
+							t.Fatalf("%s: measured %d ops, plan predicts %d",
+								label, stats.MultXORs(), plan.Costs.Chosen)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationSharedDecoderConcurrency: one Decoder used from many
+// goroutines on distinct stripes (the documented contract).
+func TestIntegrationSharedDecoderConcurrency(t *testing.T) {
+	code, err := NewSD(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	sc, err := code.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := StripeForCode(code, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.FillDataRandom(1, DataPositions(code))
+	if err := TraditionalEncode(code, base, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(code, WithThreads(2))
+	plan, err := dec.Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			st := base.Clone()
+			st.Scribble(int64(w), sc.Faulty)
+			if err := dec.DecodeWithPlan(plan, st); err != nil {
+				errs <- err
+				return
+			}
+			if !st.Equal(base) {
+				errs <- fmt.Errorf("worker %d: bytes differ", w)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

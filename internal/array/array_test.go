@@ -1,0 +1,219 @@
+package array
+
+import (
+	"testing"
+
+	"ppm/internal/codes"
+)
+
+func newTestArray(t *testing.T, stripes int) (*Array, *codes.SD) {
+	t.Helper()
+	sd, err := codes.NewSD(6, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(sd, stripes, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, sd
+}
+
+func TestNewArrayEncodesCleanly(t *testing.T) {
+	a, _ := newTestArray(t, 4)
+	if a.Stripes() != 4 {
+		t.Fatalf("stripes = %d", a.Stripes())
+	}
+	ok, err := a.Verify()
+	if err != nil || !ok {
+		t.Fatalf("fresh array fails verification: ok=%v err=%v", ok, err)
+	}
+	if !a.Intact() || a.Degraded() {
+		t.Fatal("fresh array state wrong")
+	}
+	if a.TotalBytes() != 4*6*8*64 {
+		t.Fatalf("TotalBytes = %d", a.TotalBytes())
+	}
+}
+
+func TestDiskFailureRepair(t *testing.T) {
+	a, _ := newTestArray(t, 6)
+	if err := a.FailDisks(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded() || a.Intact() {
+		t.Fatal("failure not reflected")
+	}
+	stats, err := a.Repair(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Intact() {
+		t.Fatal("repair did not restore the original bytes")
+	}
+	if a.Degraded() {
+		t.Fatal("repair left the array degraded")
+	}
+	if stats.Stripes != 6 {
+		t.Fatalf("repaired %d stripes, want 6", stats.Stripes)
+	}
+	// All stripes share the failure signature: exactly one plan.
+	if stats.PlansBuilt != 1 {
+		t.Fatalf("built %d plans, want 1 (identical disk-failure signature)", stats.PlansBuilt)
+	}
+	if stats.BytesRepaired != int64(6*2*8*64) {
+		t.Fatalf("bytes repaired = %d", stats.BytesRepaired)
+	}
+	if stats.MultXORs <= 0 || stats.String() == "" {
+		t.Fatal("stats incomplete")
+	}
+}
+
+func TestMixedDiskAndSectorRepair(t *testing.T) {
+	a, _ := newTestArray(t, 5)
+	if err := a.FailDisks(0); err != nil {
+		t.Fatal(err)
+	}
+	// Stripe 2 additionally loses two sectors on surviving disks
+	// (columns 1 and 2 of rows 0 and 1).
+	if err := a.FailSectors(2, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.Repair(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Intact() {
+		t.Fatal("repair did not restore the original bytes")
+	}
+	// Two signatures: disk-only and disk+sectors.
+	if stats.PlansBuilt != 2 {
+		t.Fatalf("built %d plans, want 2", stats.PlansBuilt)
+	}
+}
+
+func TestSectorOnlyRepair(t *testing.T) {
+	a, _ := newTestArray(t, 3)
+	if err := a.FailSectors(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.Repair(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripes != 1 {
+		t.Fatalf("repaired %d stripes, want 1", stats.Stripes)
+	}
+	if !a.Intact() {
+		t.Fatal("sector repair wrong")
+	}
+}
+
+func TestRepairNothing(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	stats, err := a.Repair(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripes != 0 || stats.PlansBuilt != 0 {
+		t.Fatalf("no-op repair did work: %+v", stats)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	if err := a.FailDisks(9); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if err := a.FailDisks(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisks(1); err == nil {
+		t.Error("double disk failure accepted")
+	}
+	if err := a.FailSectors(5, 0); err == nil {
+		t.Error("out-of-range stripe accepted")
+	}
+	if err := a.FailSectors(0, 999); err == nil {
+		t.Error("out-of-range sector accepted")
+	}
+}
+
+func TestRepairBeyondTolerance(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	// m = 2 disks tolerated; failing 3 must be refused at repair time.
+	if err := a.FailDisks(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Repair(2); err == nil {
+		t.Fatal("3-disk failure repaired by an m=2 code")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sd, err := codes.NewSD(4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sd, 0, 64, 1); err == nil {
+		t.Error("zero stripes accepted")
+	}
+	if _, err := New(sd, 1, 3, 1); err == nil {
+		t.Error("unaligned sector size accepted")
+	}
+}
+
+func TestRepairParallelMatchesSerial(t *testing.T) {
+	build := func() *Array {
+		a, _ := newTestArray(t, 8)
+		if err := a.FailDisks(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.FailSectors(4, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	serial := build()
+	sStats, err := serial.Repair(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := build()
+	pStats, err := parallel.RepairParallel(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Intact() || !parallel.Intact() {
+		t.Fatal("repairs incomplete")
+	}
+	if sStats.MultXORs != pStats.MultXORs || sStats.Stripes != pStats.Stripes ||
+		sStats.BytesRepaired != pStats.BytesRepaired || sStats.PlansBuilt != pStats.PlansBuilt {
+		t.Fatalf("stats diverge: serial %+v parallel %+v", sStats, pStats)
+	}
+}
+
+func TestRepairParallelNoFailures(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	stats, err := a.RepairParallel(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripes != 0 {
+		t.Fatalf("no-op parallel repair did work: %+v", stats)
+	}
+}
+
+func TestRepairParallelSingleWorkerDelegates(t *testing.T) {
+	a, _ := newTestArray(t, 3)
+	if err := a.FailDisks(2); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.RepairParallel(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripes != 3 || !a.Intact() {
+		t.Fatalf("delegated repair wrong: %+v", stats)
+	}
+}

@@ -1,0 +1,167 @@
+// Package bitmatrix implements the Cauchy-Reed-Solomon bit-matrix
+// technique of the paper's reference [8] (Blaum et al., "An XOR-Based
+// Erasure-Resilient Coding Scheme", the scheme behind Jerasure's CRS
+// path): every GF(2^w) coefficient expands into a w x w binary matrix,
+// symbols into w bit-packets, and the whole product becomes pure XORs
+// of byte regions — no multiplication tables at all.
+//
+// It is provided as an alternative kernel back end for study: the
+// table-driven gf back end and this XOR-schedule back end compute the
+// same algebra over different data layouts (word-interleaved vs
+// bit-packetised), and the benchmarks let one measure the classic
+// trade-off — bit matrices win when coefficients are sparse in the bit
+// domain, tables win when dense. The equivalence tests pin that both
+// back ends implement the same field arithmetic.
+package bitmatrix
+
+import (
+	"fmt"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// BitMatrix is the binary expansion of an r x c matrix over GF(2^w):
+// w*r rows by w*c columns over GF(2).
+type BitMatrix struct {
+	rows, cols int // symbol-level dimensions
+	w          int
+	// bits[i] holds bit-row i as column-index list (the XOR schedule):
+	// output packet i = XOR of the listed input packets.
+	schedule [][]int
+	ones     int
+}
+
+// Expand lowers a coefficient matrix into its bit-matrix form. The
+// binary block for coefficient a has column j equal to the bit pattern
+// of a * x^j in GF(2^w) — multiplication by a is GF(2)-linear in the
+// bits, which is the whole trick.
+func Expand(f gf.Field, m *matrix.Matrix) *BitMatrix {
+	w := f.W()
+	bm := &BitMatrix{
+		rows:     m.Rows(),
+		cols:     m.Cols(),
+		w:        w,
+		schedule: make([][]int, m.Rows()*w),
+	}
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			a := m.At(r, c)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				col := f.Mul(a, uint32(1)<<uint(j))
+				for i := 0; i < w; i++ {
+					if col>>uint(i)&1 == 1 {
+						bitRow := r*w + i
+						bm.schedule[bitRow] = append(bm.schedule[bitRow], c*w+j)
+						bm.ones++
+					}
+				}
+			}
+		}
+	}
+	return bm
+}
+
+// Rows returns the symbol-level row count.
+func (bm *BitMatrix) Rows() int { return bm.rows }
+
+// Cols returns the symbol-level column count.
+func (bm *BitMatrix) Cols() int { return bm.cols }
+
+// W returns the word size in bits.
+func (bm *BitMatrix) W() int { return bm.w }
+
+// Ones returns the number of 1 entries — each is one packet XOR, the
+// cost metric Jerasure reports ("XORs per coded word" is Ones/w per
+// output symbol).
+func (bm *BitMatrix) Ones() int { return bm.ones }
+
+// Apply computes out ^= BM * in over bit-packets: in holds cols*w input
+// packets, out holds rows*w output packets, all of equal length.
+// Callers wanting out = BM * in must zero out first.
+func (bm *BitMatrix) Apply(in, out [][]byte) {
+	if len(in) != bm.cols*bm.w || len(out) != bm.rows*bm.w {
+		panic(fmt.Sprintf("bitmatrix: %d/%d packets against %dx%d (w=%d)",
+			len(in), len(out), bm.rows, bm.cols, bm.w))
+	}
+	for i, cols := range bm.schedule {
+		dst := out[i]
+		for _, c := range cols {
+			xorBytes(dst, in[c])
+		}
+	}
+}
+
+func xorBytes(dst, src []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// PackSymbols converts a symbol slice (one uint32 per symbol, w
+// significant bits) into w bit-packets of len(symbols)/8 bytes:
+// bit t of packet i = bit i of symbol t. len(symbols) must be a
+// multiple of 8. This is the layout conversion between the word
+// back end and the packet back end; production systems pick one layout
+// and never convert, but the equivalence tests need the bridge.
+func PackSymbols(symbols []uint32, w int) ([][]byte, error) {
+	if len(symbols)%8 != 0 {
+		return nil, fmt.Errorf("bitmatrix: %d symbols not a multiple of 8", len(symbols))
+	}
+	packets := make([][]byte, w)
+	plen := len(symbols) / 8
+	for i := range packets {
+		packets[i] = make([]byte, plen)
+	}
+	for t, sym := range symbols {
+		for i := 0; i < w; i++ {
+			if sym>>uint(i)&1 == 1 {
+				packets[i][t/8] |= 1 << uint(t%8)
+			}
+		}
+	}
+	return packets, nil
+}
+
+// UnpackSymbols is the inverse of PackSymbols.
+func UnpackSymbols(packets [][]byte, w int) []uint32 {
+	if len(packets) != w {
+		panic(fmt.Sprintf("bitmatrix: %d packets for w=%d", len(packets), w))
+	}
+	count := len(packets[0]) * 8
+	symbols := make([]uint32, count)
+	for i := 0; i < w; i++ {
+		for t := 0; t < count; t++ {
+			if packets[i][t/8]>>uint(t%8)&1 == 1 {
+				symbols[t] |= 1 << uint(i)
+			}
+		}
+	}
+	return symbols
+}
+
+// AllocPackets allocates count packets of size bytes.
+func AllocPackets(count, size int) [][]byte {
+	backing := make([]byte, count*size)
+	packets := make([][]byte, count)
+	for i := range packets {
+		packets[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	return packets
+}

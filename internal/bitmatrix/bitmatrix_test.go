@@ -1,0 +1,228 @@
+package bitmatrix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+func randCoeffMatrix(rng *rand.Rand, f gf.Field, rows, cols int) *matrix.Matrix {
+	m := matrix.New(f, rows, cols)
+	mask := uint32((f.Order() - 1) & 0xFFFFFFFF)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Uint32()&mask)
+		}
+	}
+	return m
+}
+
+// TestPackUnpackRoundTrip: the layout bridge is a bijection.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for _, w := range []int{8, 16, 32} {
+		symbols := make([]uint32, 64)
+		mask := uint32(0xFFFFFFFF)
+		if w < 32 {
+			mask = (1 << uint(w)) - 1
+		}
+		for i := range symbols {
+			symbols[i] = rng.Uint32() & mask
+		}
+		packets, err := PackSymbols(symbols, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := UnpackSymbols(packets, w)
+		for i := range symbols {
+			if back[i] != symbols[i] {
+				t.Fatalf("w=%d symbol %d: %#x -> %#x", w, i, symbols[i], back[i])
+			}
+		}
+	}
+	if _, err := PackSymbols(make([]uint32, 7), 8); err == nil {
+		t.Fatal("non-multiple-of-8 symbol count accepted")
+	}
+}
+
+// TestExpandSingleCoefficient: multiplying packed symbols by the bit
+// matrix of a single coefficient equals the field multiply, for every
+// field — the algebraic heart of the CRS technique.
+func TestExpandSingleCoefficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for _, f := range []gf.Field{gf.GF8, gf.GF16, gf.GF32} {
+		f := f
+		t.Run(fmt.Sprintf("GF%d", f.W()), func(t *testing.T) {
+			mask := uint32((f.Order() - 1) & 0xFFFFFFFF)
+			for trial := 0; trial < 10; trial++ {
+				a := rng.Uint32() & mask
+				m := matrix.New(f, 1, 1)
+				m.Set(0, 0, a)
+				bm := Expand(f, m)
+
+				symbols := make([]uint32, 32)
+				for i := range symbols {
+					symbols[i] = rng.Uint32() & mask
+				}
+				in, err := PackSymbols(symbols, f.W())
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := AllocPackets(f.W(), len(in[0]))
+				bm.Apply(in, out)
+				got := UnpackSymbols(out, f.W())
+				for i, sym := range symbols {
+					if want := f.Mul(a, sym); got[i] != want {
+						t.Fatalf("a=%#x symbol %d: got %#x want %#x", a, i, got[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExpandMatrixMatchesMulVec: a full matrix-times-vector product in
+// the packet domain equals the field-level MulVec.
+func TestExpandMatrixMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	f := gf.GF8
+	m := randCoeffMatrix(rng, f, 3, 5)
+	bm := Expand(f, m)
+	if bm.Rows() != 3 || bm.Cols() != 5 || bm.W() != 8 {
+		t.Fatal("dims wrong")
+	}
+
+	// 16 independent symbol vectors processed at once (symbols t of
+	// each input live at bit position t of the packets).
+	const batch = 16
+	vectors := make([][]uint32, batch)
+	for b := range vectors {
+		vectors[b] = make([]uint32, 5)
+		for j := range vectors[b] {
+			vectors[b][j] = uint32(rng.Intn(256))
+		}
+	}
+	// Pack: input column j becomes w packets over the batch dimension.
+	in := make([][]byte, 0, 5*8)
+	for j := 0; j < 5; j++ {
+		col := make([]uint32, batch)
+		for b := 0; b < batch; b++ {
+			col[b] = vectors[b][j]
+		}
+		pk, err := PackSymbols(col, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in = append(in, pk...)
+	}
+	out := AllocPackets(3*8, batch/8)
+	bm.Apply(in, out)
+
+	for r := 0; r < 3; r++ {
+		got := UnpackSymbols(out[r*8:(r+1)*8], 8)
+		for b := 0; b < batch; b++ {
+			want := m.MulVec(vectors[b])[r]
+			if got[b] != want {
+				t.Fatalf("row %d batch %d: got %#x want %#x", r, b, got[b], want)
+			}
+		}
+	}
+}
+
+// TestOnesCost: zero matrix has no schedule; identity has exactly w
+// ones per symbol row.
+func TestOnesCost(t *testing.T) {
+	f := gf.GF8
+	if ones := Expand(f, matrix.New(f, 2, 3)).Ones(); ones != 0 {
+		t.Fatalf("zero matrix ones = %d", ones)
+	}
+	id := matrix.Identity(f, 4)
+	bm := Expand(f, id)
+	if bm.Ones() != 4*8 {
+		t.Fatalf("identity ones = %d, want 32", bm.Ones())
+	}
+}
+
+func TestApplyShapePanics(t *testing.T) {
+	bm := Expand(gf.GF8, matrix.Identity(gf.GF8, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	bm.Apply(AllocPackets(3, 8), AllocPackets(16, 8))
+}
+
+// TestApplyAccumulates: applying twice cancels (GF(2)).
+func TestApplyAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	f := gf.GF8
+	m := randCoeffMatrix(rng, f, 2, 2)
+	bm := Expand(f, m)
+	in := AllocPackets(16, 8)
+	for _, p := range in {
+		rng.Read(p)
+	}
+	out := AllocPackets(16, 8)
+	bm.Apply(in, out)
+	bm.Apply(in, out)
+	for _, p := range out {
+		for _, b := range p {
+			if b != 0 {
+				t.Fatal("double apply did not cancel")
+			}
+		}
+	}
+}
+
+// BenchmarkBackends contrasts the XOR-schedule back end with the
+// table-driven back end on the same coefficient matrix and the same
+// bytes-per-symbol budget — the Jerasure-vs-GF-Complete trade-off.
+func BenchmarkBackends(b *testing.B) {
+	rng := rand.New(rand.NewSource(165))
+	f := gf.GF8
+	const (
+		rows, cols = 2, 8
+		regionSize = 8192 // bytes per symbol column
+	)
+	m := randCoeffMatrix(rng, f, rows, cols)
+
+	b.Run("bitmatrix-xor-schedule", func(b *testing.B) {
+		bm := Expand(f, m)
+		in := AllocPackets(cols*8, regionSize/8)
+		for _, p := range in {
+			rng.Read(p)
+		}
+		out := AllocPackets(rows*8, regionSize/8)
+		b.SetBytes(int64(cols * regionSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bm.Apply(in, out)
+		}
+	})
+	b.Run("table-driven", func(b *testing.B) {
+		in := make([][]byte, cols)
+		for j := range in {
+			in[j] = make([]byte, regionSize)
+			rng.Read(in[j])
+		}
+		out := make([][]byte, rows)
+		for r := range out {
+			out[r] = make([]byte, regionSize)
+		}
+		b.SetBytes(int64(cols * regionSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				for j := 0; j < cols; j++ {
+					if a := m.At(r, j); a != 0 {
+						f.MultXORs(out[r], in[j], a)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package bitmatrix
+
+import "sort"
+
+// Derivative scheduling (Plank's schedule-optimisation line of work,
+// e.g. CSHR): instead of computing every output packet as a fresh XOR
+// of its input packets, compute it as a delta from an already-computed
+// output packet when their input sets overlap heavily — the XOR count
+// drops from |S_v| to |S_u Δ S_v| + 1. The greedy construction below is
+// a directed MST over the output rows (Prim's algorithm with the
+// "from scratch" cost as the virtual root edge).
+
+// scheduledOp is one step of an optimised program.
+type scheduledOp struct {
+	dst     int   // output packet index
+	from    int   // -1: from scratch; else: start as a copy of output `from`
+	xorCols []int // input packets to XOR in
+}
+
+// Schedule is an optimised XOR program equivalent to a BitMatrix apply.
+type Schedule struct {
+	rows, cols, w int
+	ops           []scheduledOp
+	xors          int
+}
+
+// Optimize builds a derivative schedule for the bit matrix.
+func (bm *BitMatrix) Optimize() *Schedule {
+	n := len(bm.schedule)
+	s := &Schedule{rows: bm.rows, cols: bm.cols, w: bm.w}
+
+	// Input sets per output row, as sorted slices (they already are).
+	sets := make([][]int, n)
+	for i := range sets {
+		sets[i] = bm.schedule[i]
+	}
+
+	// Prim over dense costs. cost(u->v) = |S_u Δ S_v| + 1 (the +1 is
+	// the initial copy/XOR of u into v); root cost = |S_v|.
+	const root = -1
+	inTree := make([]bool, n)
+	bestCost := make([]int, n)
+	bestFrom := make([]int, n)
+	for v := range bestCost {
+		bestCost[v] = len(sets[v])
+		bestFrom[v] = root
+	}
+	for range sets {
+		// Pick the cheapest unattached row.
+		v := -1
+		for u := range sets {
+			if !inTree[u] && (v < 0 || bestCost[u] < bestCost[v]) {
+				v = u
+			}
+		}
+		if v < 0 {
+			break
+		}
+		inTree[v] = true
+		delta := append([]int(nil), symmetricDiff(sets[v], parentSet(sets, bestFrom[v]))...)
+		sort.Ints(delta)
+		s.ops = append(s.ops, scheduledOp{dst: v, from: bestFrom[v], xorCols: delta})
+		s.xors += len(delta)
+		if bestFrom[v] >= 0 {
+			s.xors++ // the copy of the parent output
+		}
+		// Relax neighbours.
+		for u := range sets {
+			if inTree[u] {
+				continue
+			}
+			if c := diffSize(sets[u], sets[v]) + 1; c < bestCost[u] {
+				bestCost[u] = c
+				bestFrom[u] = v
+			}
+		}
+	}
+	return s
+}
+
+func parentSet(sets [][]int, from int) []int {
+	if from < 0 {
+		return nil
+	}
+	return sets[from]
+}
+
+// symmetricDiff of two sorted int slices.
+func symmetricDiff(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func diffSize(a, b []int) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			n++
+			i++
+		default:
+			n++
+			j++
+		}
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+// XORs returns the packet-XOR count of one Apply — compare with the
+// unoptimised BitMatrix.Ones().
+func (s *Schedule) XORs() int { return s.xors }
+
+// Apply runs the program: out = schedule(in), overwriting out. Unlike
+// BitMatrix.Apply it cannot accumulate, because derivative steps reuse
+// freshly-written outputs.
+func (s *Schedule) Apply(in, out [][]byte) {
+	if len(in) != s.cols*s.w || len(out) != s.rows*s.w {
+		panic("bitmatrix: schedule shape mismatch")
+	}
+	for _, op := range s.ops {
+		dst := out[op.dst]
+		if op.from >= 0 {
+			copy(dst, out[op.from])
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		for _, c := range op.xorCols {
+			xorBytes(dst, in[c])
+		}
+	}
+}

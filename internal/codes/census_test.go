@@ -1,0 +1,158 @@
+package codes
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/gf"
+)
+
+// TestCensusAzureLRC reproduces the fault-tolerance profile Microsoft
+// published for the Azure (12,2,2)-LRC (cited by the paper as [17]):
+// all 3-failure patterns decodable, and "86%" of 4-failure patterns —
+// the exact maximally-recoverable fraction is 1557/1820 = 85.55%, which
+// this census measures exhaustively.
+func TestCensusAzureLRC(t *testing.T) {
+	lrc, err := NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Census(lrc, 3, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !three.Exhaustive || three.Fraction() != 1.0 {
+		t.Fatalf("3-failure census: %s", three)
+	}
+	four, err := Census(lrc, 4, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !four.Exhaustive {
+		t.Fatalf("expected exhaustive 4-failure census, got %s", four)
+	}
+	if four.Decodable != 1557 || four.Examined != 1820 {
+		t.Fatalf("4-failure census %d/%d, want the maximally-recoverable 1557/1820", four.Decodable, four.Examined)
+	}
+	if math.Abs(four.Fraction()-0.8555) > 0.001 {
+		t.Fatalf("fraction %.4f, want 0.8555 (Azure's '86%%')", four.Fraction())
+	}
+	// Five failures exceed the 4 parity blocks: nothing is decodable.
+	five, err := Census(lrc, 5, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five.Decodable != 0 {
+		t.Fatalf("5-failure census: %s", five)
+	}
+}
+
+// TestCensusRSMDS: an MDS code decodes every pattern up to m failures
+// and nothing beyond.
+func TestCensusRSMDS(t *testing.T) {
+	rs, err := NewRS(10, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= 3; tt++ {
+		r, err := Census(rs, tt, 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Fraction() != 1.0 {
+			t.Fatalf("T=%d: %s", tt, r)
+		}
+	}
+	r, err := Census(rs, 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decodable != 0 {
+		t.Fatalf("T=4: %s", r)
+	}
+}
+
+// TestCensusSDProfile: SD^{1,1}_{4,4} guarantees one disk plus one
+// sector; arbitrary 5-sector patterns are mostly NOT decodable (only
+// those aligning with the disk+sector structure are), while all
+// 1-failure patterns are.
+func TestCensusSDProfile(t *testing.T) {
+	sd, err := NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Census(sd, 1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Fraction() != 1.0 {
+		t.Fatalf("1-failure: %s", one)
+	}
+	five, err := Census(sd, 5, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !five.Exhaustive { // C(16,5) = 4368
+		t.Fatalf("expected exhaustive: %s", five)
+	}
+	if f := five.Fraction(); f <= 0 || f >= 0.5 {
+		t.Fatalf("5-failure fraction %.4f; expected sparse decodability", f)
+	}
+}
+
+func TestCensusSampledMode(t *testing.T) {
+	lrc, err := NewLRC(20, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(26, 5) = 65780 > budget: sampling kicks in.
+	r, err := Census(lrc, 5, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exhaustive || r.Examined != 500 {
+		t.Fatalf("expected 500 sampled patterns, got %s", r)
+	}
+	// Deterministic under the same seed.
+	r2, err := Census(lrc, 5, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decodable != r2.Decodable {
+		t.Fatal("sampled census not reproducible")
+	}
+}
+
+func TestCensusValidation(t *testing.T) {
+	lrc, err := NewLRC(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Census(lrc, 0, 100, 1); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := Census(lrc, 100, 100, 1); err == nil {
+		t.Error("T>total accepted")
+	}
+	if _, err := Census(lrc, 2, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{16, 4, 1820}, {16, 3, 560}, {5, 0, 1}, {5, 5, 1}, {4, 5, 0}, {10, 2, 45},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	// Saturation instead of overflow.
+	if got := binomial(200, 100); got != 1<<40 {
+		t.Errorf("binomial(200,100) = %d, want saturation", got)
+	}
+}

@@ -1,0 +1,225 @@
+package codes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+)
+
+func TestLRCPaperExample(t *testing.T) {
+	// The (4, 2, 2)-LRC of Figure 1(b): 4 data, 2 local, 2 global.
+	lrc, err := NewLRC(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrc.NumStrips() != 8 || lrc.NumRows() != 1 {
+		t.Fatalf("geometry %dx%d", lrc.NumStrips(), lrc.NumRows())
+	}
+	h := lrc.ParityCheck()
+	if h.Rows() != 4 || h.Cols() != 8 {
+		t.Fatalf("H is %s, want 4x8", h.Dims())
+	}
+	// Local row 0 covers data {0,1} and local parity 4.
+	wantRow0 := []uint32{1, 1, 0, 0, 1, 0, 0, 0}
+	for j, w := range wantRow0 {
+		if h.At(0, j) != w {
+			t.Fatalf("H[0][%d] = %d, want %d", j, h.At(0, j), w)
+		}
+	}
+	// Local row 1 covers data {2,3} and local parity 5.
+	wantRow1 := []uint32{0, 0, 1, 1, 0, 1, 0, 0}
+	for j, w := range wantRow1 {
+		if h.At(1, j) != w {
+			t.Fatalf("H[1][%d] = %d, want %d", j, h.At(1, j), w)
+		}
+	}
+	// Global rows touch all 4 data blocks (each global parity is
+	// calculated by k = 4 data blocks, the paper's asymmetry example)
+	// plus their own parity column.
+	for q := 0; q < 2; q++ {
+		row := 2 + q
+		for b := 0; b < 4; b++ {
+			if h.At(row, b) == 0 {
+				t.Fatalf("global row %d has zero at data block %d", row, b)
+			}
+		}
+		if h.At(row, 6+q) != 1 {
+			t.Fatalf("global row %d parity column wrong", row)
+		}
+		if h.At(row, 4) != 0 || h.At(row, 5) != 0 {
+			t.Fatalf("global row %d touches local parities", row)
+		}
+	}
+}
+
+func TestLRCGroupsBalanced(t *testing.T) {
+	lrc, err := NewLRC(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := lrc.Groups()
+	sizes := []int{len(groups[0]), len(groups[1]), len(groups[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("group sizes = %v", sizes)
+	}
+	seen := map[int]bool{}
+	for _, grp := range groups {
+		for _, b := range grp {
+			if seen[b] {
+				t.Fatalf("block %d in two groups", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("groups cover %d blocks, want 10", len(seen))
+	}
+}
+
+func TestLRCStorageCost(t *testing.T) {
+	lrc, err := NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lrc.StorageCost()-16.0/12.0) > 1e-12 {
+		t.Fatalf("storage cost = %f", lrc.StorageCost())
+	}
+}
+
+func TestLRCDegradedRead(t *testing.T) {
+	lrc, err := NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		sc := lrc.DegradedReadScenario(rng)
+		if len(sc.Faulty) != 1 || sc.Faulty[0] >= lrc.K() {
+			t.Fatalf("scenario = %+v", sc)
+		}
+		if !Decodable(lrc, sc) {
+			t.Fatal("single data failure not decodable")
+		}
+	}
+}
+
+func TestLRCWorstCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, cfg := range []struct{ k, l, g int }{{12, 2, 2}, {12, 4, 2}, {9, 3, 2}} {
+		lrc, err := NewLRC(cfg.k, cfg.l, cfg.g)
+		if err != nil {
+			t.Fatalf("NewLRC(%+v): %v", cfg, err)
+		}
+		sc, err := lrc.WorstCaseScenario(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Faulty) != cfg.l+1 {
+			t.Fatalf("faulty = %v, want %d failures", sc.Faulty, cfg.l+1)
+		}
+		if !Decodable(lrc, sc) {
+			t.Fatal("worst case not decodable")
+		}
+	}
+}
+
+func TestLRCWorstCaseRequiresGlobals(t *testing.T) {
+	lrc, err := NewLRC(6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lrc.WorstCaseScenario(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("worst case without globals accepted")
+	}
+}
+
+func TestLRCParamValidation(t *testing.T) {
+	cases := []struct{ k, l, g int }{
+		{1, 1, 1},  // k too small
+		{4, 0, 2},  // l too small
+		{4, 5, 2},  // l > k
+		{4, 2, -1}, // negative g
+	}
+	for _, c := range cases {
+		if _, err := NewLRC(c.k, c.l, c.g); err == nil {
+			t.Errorf("NewLRC(%d,%d,%d) accepted", c.k, c.l, c.g)
+		}
+	}
+}
+
+func TestRSMDSExhaustive(t *testing.T) {
+	// Every combination of m failed disks must be decodable — the MDS
+	// property the Cauchy construction guarantees.
+	rs, err := NewRS(8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rs.NumStrips()
+	var combo func(start int, picked []int)
+	combo = func(start int, picked []int) {
+		if len(picked) == rs.M() {
+			var faulty []int
+			for i := 0; i < rs.NumRows(); i++ {
+				for _, d := range picked {
+					faulty = append(faulty, sectorIndex(n, i, d))
+				}
+			}
+			sc, err := NewScenario(rs, faulty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Decodable(rs, sc) {
+				t.Fatalf("disks %v not decodable", picked)
+			}
+			return
+		}
+		for d := start; d < n; d++ {
+			combo(d+1, append(picked, d))
+		}
+	}
+	combo(0, nil)
+}
+
+func TestRSWorstCase(t *testing.T) {
+	rs, err := NewRS(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	sc, err := rs.WorstCaseScenario(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.FailedDisks) != 3 || len(sc.Faulty) != 3*4 {
+		t.Fatalf("scenario %+v", sc)
+	}
+}
+
+func TestRSInFieldW16W32(t *testing.T) {
+	for _, f := range []gf.Field{gf.GF16, gf.GF32} {
+		rs, err := NewRSInField(10, 2, 2, f)
+		if err != nil {
+			t.Fatalf("w=%d: %v", f.W(), err)
+		}
+		if rs.Field().W() != f.W() {
+			t.Fatal("field not honoured")
+		}
+	}
+}
+
+func TestRSParamValidation(t *testing.T) {
+	cases := []struct{ n, r, m int }{
+		{1, 1, 1}, {4, 0, 1}, {4, 4, 0}, {4, 4, 4},
+	}
+	for _, c := range cases {
+		if _, err := NewRS(c.n, c.r, c.m); err == nil {
+			t.Errorf("NewRS(%d,%d,%d) accepted", c.n, c.r, c.m)
+		}
+	}
+	// Too many Cauchy points for GF(2^8).
+	if _, err := NewRSInField(200, 1, 2, gf.GF8); err == nil {
+		t.Error("oversized RS accepted in GF(2^8)")
+	}
+}

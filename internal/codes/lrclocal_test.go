@@ -1,0 +1,155 @@
+package codes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRCLocalityConstruction(t *testing.T) {
+	lrc, err := NewLRCLocality(12, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 data + 3 groups x 2 local parities + 2 globals = 20 blocks.
+	if lrc.NumStrips() != 20 {
+		t.Fatalf("n = %d, want 20", lrc.NumStrips())
+	}
+	h := lrc.ParityCheck()
+	if h.Rows() != 8 || h.Cols() != 20 {
+		t.Fatalf("H is %s, want 8x20", h.Dims())
+	}
+	if lrc.Delta() != 3 || lrc.K() != 12 || lrc.L() != 3 || lrc.G() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	// Local rows touch only their group + their parity column.
+	groups := lrc.Groups()
+	for gi, group := range groups {
+		inGroup := map[int]bool{}
+		for _, b := range group {
+			inGroup[b] = true
+		}
+		for tt := 0; tt < 2; tt++ {
+			row := gi*2 + tt
+			for col := 0; col < 12; col++ {
+				if (h.At(row, col) != 0) != inGroup[col] {
+					t.Fatalf("local row %d column %d coefficient inconsistent with group", row, col)
+				}
+			}
+			if h.At(row, 12+gi*2+tt) != 1 {
+				t.Fatalf("local row %d missing its parity column", row)
+			}
+		}
+	}
+}
+
+func TestLRCLocalityReducesToPlainLRC(t *testing.T) {
+	// δ = 2: one local parity per group, like the plain LRC.
+	lrc, err := NewLRCLocality(12, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrc.NumStrips() != 12+3+2 {
+		t.Fatalf("n = %d", lrc.NumStrips())
+	}
+}
+
+func TestLRCLocalityValidation(t *testing.T) {
+	cases := []struct{ k, l, delta, g int }{
+		{1, 1, 2, 1},  // k too small
+		{12, 0, 2, 2}, // l too small
+		{12, 3, 1, 2}, // delta too small
+		{12, 3, 2, -1},
+		{4, 4, 3, 1}, // groups of 1 block cannot carry 2 local parities
+	}
+	for _, c := range cases {
+		if _, err := NewLRCLocality(c.k, c.l, c.delta, c.g); err == nil {
+			t.Errorf("NewLRCLocality(%+v) accepted", c)
+		}
+	}
+}
+
+// TestLRCLocalityLocalRepair: up to δ-1 failures inside one group are
+// decodable, and (δ-1)+1 failures in one group still decode using the
+// globals.
+func TestLRCLocalityLocalRepair(t *testing.T) {
+	lrc, err := NewLRCLocality(12, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(171))
+	for f := 1; f <= 2; f++ {
+		for trial := 0; trial < 10; trial++ {
+			sc, err := lrc.LocalScenario(rng, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Decodable(lrc, sc) {
+				t.Fatalf("f=%d local failures not decodable", f)
+			}
+		}
+	}
+	if _, err := lrc.LocalScenario(rng, 3); err == nil {
+		t.Error("f beyond δ-1 accepted")
+	}
+	// 3 failures in one group: beyond locality, needs globals.
+	group := lrc.Groups()[0]
+	sc, err := NewScenario(lrc, group[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Decodable(lrc, sc) {
+		t.Fatal("3-in-group failure should decode via globals")
+	}
+}
+
+func TestLRCLocalityWorstCase(t *testing.T) {
+	lrc, err := NewLRCLocality(12, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(172))
+	sc, err := lrc.WorstCaseScenario(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ-1 = 2 failures per group x 3 groups + 1 extra = 7.
+	if len(sc.Faulty) != 7 {
+		t.Fatalf("faulty = %v, want 7 failures", sc.Faulty)
+	}
+	if !Decodable(lrc, sc) {
+		t.Fatal("worst case not decodable")
+	}
+}
+
+func TestLRCLocalityScalarRoundTrip(t *testing.T) {
+	lrc, err := NewLRCLocality(10, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(173))
+	words := randomCodeword(t, lrc, rng)
+	sc, err := lrc.WorstCaseScenario(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]uint32(nil), words...)
+	for _, idx := range sc.Faulty {
+		corrupted[idx] = 1
+	}
+	recovered := scalarSolve(t, lrc, sc, corrupted)
+	for i := range words {
+		if recovered[i] != words[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+}
+
+func TestLRCLocalityNoGlobalsWorstCase(t *testing.T) {
+	lrc, err := NewLRCLocality(8, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lrc.WorstCaseScenario(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("worst case without globals accepted")
+	}
+}

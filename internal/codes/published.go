@@ -1,0 +1,34 @@
+package codes
+
+import (
+	"fmt"
+
+	"ppm/internal/gf"
+)
+
+// PublishedSD lists SD instances whose coding coefficients appear in
+// the literature (the PPM paper's two worked parameterisations). They
+// double as construction-fidelity fixtures: if our H construction
+// deviated from Plank's, these coefficients would stop decoding.
+var PublishedSD = []struct {
+	N, R, M, S int
+	W          int
+	Coeffs     []uint32
+	Source     string
+}{
+	{4, 4, 1, 1, 8, []uint32{1, 2}, "PPM paper Figure 2 worked example"},
+	{6, 4, 2, 2, 8, []uint32{1, 42, 26, 61}, "PPM paper Figure 1(b) / SD code paper"},
+}
+
+// NewPublishedSD instantiates entry i of PublishedSD.
+func NewPublishedSD(i int) (*SD, error) {
+	if i < 0 || i >= len(PublishedSD) {
+		return nil, fmt.Errorf("codes: no published SD instance %d", i)
+	}
+	p := PublishedSD[i]
+	f, err := gf.ForWord(p.W)
+	if err != nil {
+		return nil, err
+	}
+	return NewSDWithCoefficients(p.N, p.R, p.M, p.S, f, p.Coeffs)
+}

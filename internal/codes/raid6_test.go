@@ -1,0 +1,172 @@
+package codes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEVENODDConstruction(t *testing.T) {
+	e, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumStrips() != 7 || e.NumRows() != 4 {
+		t.Fatalf("geometry %dx%d, want 7x4", e.NumStrips(), e.NumRows())
+	}
+	h := e.ParityCheck()
+	if h.Rows() != 8 || h.Cols() != 28 {
+		t.Fatalf("H is %s, want 8x28", h.Dims())
+	}
+	// XOR-only: every coefficient is 0 or 1.
+	for i := 0; i < h.Rows(); i++ {
+		for j := 0; j < h.Cols(); j++ {
+			if v := h.At(i, j); v > 1 {
+				t.Fatalf("H[%d][%d] = %d; EVENODD must be XOR-only", i, j, v)
+			}
+		}
+	}
+	// Row-parity rows cover exactly p+1 cells.
+	for i := 0; i < 4; i++ {
+		count := 0
+		for j := 0; j < h.Cols(); j++ {
+			if h.At(i, j) != 0 {
+				count++
+			}
+		}
+		if count != 6 {
+			t.Fatalf("row-parity row %d has %d cells, want 6", i, count)
+		}
+	}
+}
+
+func TestEVENODDPrimeValidation(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		if _, err := NewEVENODD(p); err == nil {
+			t.Errorf("NewEVENODD(%d) accepted", p)
+		}
+	}
+}
+
+// TestEVENODDAllDoubleFailures: the RAID-6 guarantee — every pair of
+// disk failures is decodable.
+func TestEVENODDAllDoubleFailures(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		e, err := NewEVENODD(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		n := e.NumStrips()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				var faulty []int
+				for i := 0; i < e.NumRows(); i++ {
+					faulty = append(faulty, sectorIndex(n, i, a), sectorIndex(n, i, b))
+				}
+				sc, err := NewScenario(e, faulty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !Decodable(e, sc) {
+					t.Fatalf("p=%d: disks (%d,%d) not decodable", p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestEVENODDScalarRoundTrip(t *testing.T) {
+	e, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(121))
+	words := randomCodeword(t, e, rng)
+	sc, err := e.WorstCaseScenario(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]uint32(nil), words...)
+	for _, idx := range sc.Faulty {
+		corrupted[idx] = 0xAA
+	}
+	recovered := scalarSolve(t, e, sc, corrupted)
+	for i := range words {
+		if recovered[i] != words[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+}
+
+func TestRDPConstruction(t *testing.T) {
+	c, err := NewRDP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStrips() != 6 || c.NumRows() != 4 {
+		t.Fatalf("geometry %dx%d, want 6x4", c.NumStrips(), c.NumRows())
+	}
+	h := c.ParityCheck()
+	for i := 0; i < h.Rows(); i++ {
+		for j := 0; j < h.Cols(); j++ {
+			if v := h.At(i, j); v > 1 {
+				t.Fatalf("H[%d][%d] = %d; RDP must be XOR-only", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRDPPrimeValidation(t *testing.T) {
+	for _, p := range []int{0, 4, 8, 15} {
+		if _, err := NewRDP(p); err == nil {
+			t.Errorf("NewRDP(%d) accepted", p)
+		}
+	}
+}
+
+func TestRDPAllDoubleFailures(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		c, err := NewRDP(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		n := c.NumStrips()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				var faulty []int
+				for i := 0; i < c.NumRows(); i++ {
+					faulty = append(faulty, sectorIndex(n, i, a), sectorIndex(n, i, b))
+				}
+				sc, err := NewScenario(c, faulty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !Decodable(c, sc) {
+					t.Fatalf("p=%d: disks (%d,%d) not decodable", p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRDPScalarRoundTrip(t *testing.T) {
+	c, err := NewRDP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(122))
+	words := randomCodeword(t, c, rng)
+	sc, err := c.WorstCaseScenario(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]uint32(nil), words...)
+	for _, idx := range sc.Faulty {
+		corrupted[idx] = 0x55
+	}
+	recovered := scalarSolve(t, c, sc, corrupted)
+	for i := range words {
+		if recovered[i] != words[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package codes
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ppm/internal/gf"
+)
+
+// paperSD returns the worked example SD^{1,1}_{4,4}(8|1,2) of Figure 2.
+func paperSD(t *testing.T) *SD {
+	t.Helper()
+	sd, err := NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1, 2})
+	if err != nil {
+		t.Fatalf("building paper example: %v", err)
+	}
+	return sd
+}
+
+// TestSDPaperExampleH pins H for SD^{1,1}_{4,4}(8|1,2) to the matrix
+// printed in Figure 2: four disk-parity rows (ones over each stripe
+// row's four sectors) plus the sector row 2^0 .. 2^15.
+func TestSDPaperExampleH(t *testing.T) {
+	sd := paperSD(t)
+	h := sd.ParityCheck()
+	if h.Rows() != 5 || h.Cols() != 16 {
+		t.Fatalf("H is %s, want 5x16", h.Dims())
+	}
+	for i := 0; i < 4; i++ {
+		for c := 0; c < 16; c++ {
+			want := uint32(0)
+			if c >= i*4 && c < (i+1)*4 {
+				want = 1
+			}
+			if h.At(i, c) != want {
+				t.Fatalf("H[%d][%d] = %d, want %d", i, c, h.At(i, c), want)
+			}
+		}
+	}
+	f := gf.GF8
+	for c := 0; c < 16; c++ {
+		if h.At(4, c) != f.Exp(2, c) {
+			t.Fatalf("H[4][%d] = %d, want 2^%d = %d", c, h.At(4, c), c, f.Exp(2, c))
+		}
+	}
+	// Spot-check the figure's literal powers of 2 over GF(2^8)/0x11D.
+	if h.At(4, 8) != 29 { // 2^8 = 0x11D ^ 0x100 = 0x1D
+		t.Fatalf("H[4][8] = %d, want 29", h.At(4, 8))
+	}
+}
+
+func TestSDPaperExampleName(t *testing.T) {
+	sd := paperSD(t)
+	if got := sd.Name(); got != "SD^{1,1}_{4,4}(8|1,2)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestSDParityPositions(t *testing.T) {
+	sd := paperSD(t)
+	// m=1: disk 3 in every row; s=1: last data sector = row 3, disk 2.
+	want := []int{3, 7, 11, 14, 15}
+	if got := sd.ParityPositions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parity positions = %v, want %v", got, want)
+	}
+	data := DataPositions(sd)
+	if len(data) != 16-5 {
+		t.Fatalf("data positions = %v", data)
+	}
+	for _, d := range data {
+		for _, p := range want {
+			if d == p {
+				t.Fatalf("position %d is both data and parity", d)
+			}
+		}
+	}
+}
+
+func TestSDParityPositionsSpillRows(t *testing.T) {
+	// n=4, m=3 leaves one data disk; s=3 coding sectors must spill
+	// across three rows of that disk.
+	sd, err := NewSD(4, 4, 3, 3)
+	if err != nil {
+		t.Fatalf("NewSD: %v", err)
+	}
+	pp := sd.ParityPositions()
+	if len(pp) != 3*4+3 {
+		t.Fatalf("got %d parity positions, want 15", len(pp))
+	}
+	wantSectors := []int{sectorIndex(4, 3, 0), sectorIndex(4, 2, 0), sectorIndex(4, 1, 0)}
+	sort.Ints(wantSectors)
+	set := map[int]bool{}
+	for _, p := range pp {
+		set[p] = true
+	}
+	for _, w := range wantSectors {
+		if !set[w] {
+			t.Fatalf("coding sector %d missing from parity positions %v", w, pp)
+		}
+	}
+}
+
+func TestSDPaperFailureScenarioDecodable(t *testing.T) {
+	sd := paperSD(t)
+	// Figure 2's failure set.
+	sc, err := NewScenario(sd, []int{2, 6, 10, 13, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Decodable(sd, sc) {
+		t.Fatal("paper's failure scenario not decodable")
+	}
+}
+
+func TestSDWorstCaseScenarioShape(t *testing.T) {
+	sd := paperSD(t)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		sc, err := sd.WorstCaseScenario(rng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.FailedDisks) != 1 {
+			t.Fatalf("failed disks = %v", sc.FailedDisks)
+		}
+		if len(sc.Faulty) != sd.NumRows()+sd.S() {
+			t.Fatalf("faulty count = %d, want %d", len(sc.Faulty), sd.NumRows()+sd.S())
+		}
+		// All of the failed disk's sectors must be in the set.
+		set := sc.FaultySet()
+		d := sc.FailedDisks[0]
+		for i := 0; i < sd.NumRows(); i++ {
+			if !set[sectorIndex(sd.NumStrips(), i, d)] {
+				t.Fatalf("disk %d sector in row %d missing", d, i)
+			}
+		}
+	}
+}
+
+func TestSDWorstCaseZSpread(t *testing.T) {
+	sd, err := NewSD(8, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for z := 1; z <= 3; z++ {
+		sc, err := sd.WorstCaseScenario(rng, z)
+		if err != nil {
+			t.Fatalf("z=%d: %v", z, err)
+		}
+		// Sector failures (not on failed disks) must span exactly z rows.
+		failed := map[int]bool{}
+		for _, d := range sc.FailedDisks {
+			failed[d] = true
+		}
+		rows := map[int]bool{}
+		for _, idx := range sc.Faulty {
+			if !failed[idx%sd.NumStrips()] {
+				rows[idx/sd.NumStrips()] = true
+			}
+		}
+		if len(rows) != z {
+			t.Fatalf("z=%d: sector failures span %d rows", z, len(rows))
+		}
+	}
+}
+
+func TestSDWorstCaseZValidation(t *testing.T) {
+	sd := paperSD(t)
+	rng := rand.New(rand.NewSource(63))
+	for _, z := range []int{0, 2, 5} {
+		if _, err := sd.WorstCaseScenario(rng, z); err == nil {
+			t.Errorf("z=%d accepted for s=1", z)
+		}
+	}
+}
+
+func TestNewSDAutoFieldSwitch(t *testing.T) {
+	// n*r = 64 fits GF(2^8); n*r = 16*16 = 256 needs GF(2^16).
+	small, err := NewSD(8, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Field().W() != 8 {
+		t.Fatalf("8x8 SD got w=%d, want 8", small.Field().W())
+	}
+	big, err := NewSD(16, 16, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Field().W() != 16 {
+		t.Fatalf("16x16 SD got w=%d, want 16", big.Field().W())
+	}
+}
+
+func TestNewSDSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coefficient search sweep")
+	}
+	rng := rand.New(rand.NewSource(64))
+	for _, n := range []int{4, 6, 9} {
+		for _, m := range []int{1, 2} {
+			for _, s := range []int{1, 2} {
+				sd, err := NewSD(n, 8, m, s)
+				if err != nil {
+					t.Fatalf("NewSD(%d,8,%d,%d): %v", n, m, s, err)
+				}
+				for z := 1; z <= s; z++ {
+					if _, err := sd.WorstCaseScenario(rng, z); err != nil {
+						t.Fatalf("%s z=%d: %v", sd.Name(), z, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSDParamValidation(t *testing.T) {
+	cases := []struct{ n, r, m, s int }{
+		{1, 4, 1, 1},  // n too small
+		{4, 0, 1, 1},  // r too small
+		{4, 4, 4, 1},  // m >= n
+		{4, 4, -1, 1}, // negative m
+		{4, 4, 1, -1}, // negative s
+		{4, 4, 0, 0},  // no redundancy
+		{4, 4, 1, 13}, // s exceeds data region
+	}
+	for _, c := range cases {
+		if _, err := NewSD(c.n, c.r, c.m, c.s); err == nil {
+			t.Errorf("NewSD(%d,%d,%d,%d) accepted", c.n, c.r, c.m, c.s)
+		}
+	}
+}
+
+func TestSDCoefficientValidation(t *testing.T) {
+	if _, err := NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1}); err == nil {
+		t.Error("wrong coefficient count accepted")
+	}
+	if _, err := NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{0, 2}); err == nil {
+		t.Error("zero coefficient accepted")
+	}
+	if _, err := NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1, 300}); err == nil {
+		t.Error("out-of-field coefficient accepted")
+	}
+	// Repeating powers: n*r = 300 > 255 nonzero elements of GF(2^8).
+	if _, err := NewSDWithCoefficients(25, 12, 1, 1, gf.GF8, []uint32{1, 2}); err == nil {
+		t.Error("n*r > 2^w - 1 accepted")
+	}
+	// Duplicate coefficients make disk-parity rows identical -> encode
+	// scenario singular for m >= 2.
+	if _, err := NewSDWithCoefficients(6, 4, 2, 1, gf.GF8, []uint32{1, 1, 3}); err == nil {
+		t.Error("duplicate disk coefficients accepted")
+	}
+}
+
+func TestSDCoefficientsAccessorCopies(t *testing.T) {
+	sd := paperSD(t)
+	c := sd.Coefficients()
+	c[0] = 99
+	if sd.Coefficients()[0] != 1 {
+		t.Fatal("Coefficients leaks internal slice")
+	}
+	p := sd.ParityPositions()
+	p[0] = -1
+	if sd.ParityPositions()[0] == -1 {
+		t.Fatal("ParityPositions leaks internal slice")
+	}
+}
+
+func TestPMDSWrapsSD(t *testing.T) {
+	p, err := NewPMDS(6, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStrips() != 6 || p.NumRows() != 4 || p.M() != 2 || p.S() != 2 {
+		t.Fatal("PMDS geometry wrong")
+	}
+	if got := p.Name(); got != "PMDS(2,2)_{6,4}(w=8)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishedSDInstances: the literature's coefficient tuples decode
+// every drawn worst-case pattern under our H construction — the
+// construction-fidelity check.
+func TestPublishedSDInstances(t *testing.T) {
+	for i := range PublishedSD {
+		sd, err := NewPublishedSD(i)
+		if err != nil {
+			t.Fatalf("instance %d (%s): %v", i, PublishedSD[i].Source, err)
+		}
+		rng := rand.New(rand.NewSource(int64(300 + i)))
+		for z := 1; z <= sd.S(); z++ {
+			if sd.S() > z*(sd.NumStrips()-sd.M()) {
+				continue
+			}
+			for trial := 0; trial < 15; trial++ {
+				sc, err := sd.WorstCaseScenario(rng, z)
+				if err != nil {
+					t.Fatalf("instance %d z=%d: %v", i, z, err)
+				}
+				if !Decodable(sd, sc) {
+					t.Fatalf("instance %d (%s): pattern %v not decodable", i, PublishedSD[i].Source, sc.Faulty)
+				}
+			}
+		}
+	}
+	if _, err := NewPublishedSD(99); err == nil {
+		t.Error("bogus index accepted")
+	}
+}
+
+// TestQuickSDStructure: for random geometries, every SD instance
+// satisfies the structural invariants of the construction — disk-parity
+// rows confined to their stripe row with n nonzeros, sector rows with
+// full support, parity positions exactly RH of them.
+func TestQuickSDStructure(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(310))}
+	prop := func(nRaw, rRaw, mRaw, sRaw uint8) bool {
+		n := 4 + int(nRaw%6) // 4..9
+		r := 2 + int(rRaw%7) // 2..8
+		m := 1 + int(mRaw%2) // 1..2
+		s := 1 + int(sRaw%2) // 1..2
+		if m >= n || s > (n-m)*r {
+			return true
+		}
+		sd, err := NewSD(n, r, m, s)
+		if err != nil {
+			// Some geometries legitimately have no good coefficients in
+			// the candidate budget; that is a soft outcome, not a bug.
+			return true
+		}
+		h := sd.ParityCheck()
+		if h.Rows() != m*r+s || h.Cols() != n*r {
+			return false
+		}
+		for i := 0; i < r; i++ {
+			for tt := 0; tt < m; tt++ {
+				row := i*m + tt
+				count := 0
+				for c := 0; c < n*r; c++ {
+					v := h.At(row, c)
+					inRow := c >= i*n && c < (i+1)*n
+					if v != 0 && !inRow {
+						return false // leaked outside its stripe row
+					}
+					if v != 0 {
+						count++
+					}
+				}
+				if count != n {
+					return false
+				}
+			}
+		}
+		for q := 0; q < s; q++ {
+			row := m*r + q
+			for c := 0; c < n*r; c++ {
+				if h.At(row, c) == 0 {
+					return false // sector rows have full support
+				}
+			}
+		}
+		return len(sd.ParityPositions()) == m*r+s
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

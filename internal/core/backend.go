@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/bitmatrix"
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Backend selects the arithmetic engine a Decoder's sub-decodes run on.
+type Backend int
+
+const (
+	// BackendTable is the default: table-driven GF(2^w) region
+	// multiplication over word-interleaved sectors (GF-Complete style).
+	BackendTable Backend = iota
+	// BackendBitMatrix is the Cauchy-RS XOR-schedule engine of the
+	// paper's reference [8] (Jerasure style): coefficients expand to
+	// binary matrices and sectors are interpreted as w bit-packets.
+	//
+	// The two back ends produce different parity bytes for the same
+	// data (word-interleaved vs bit-packetised symbol layouts), so a
+	// stripe must be encoded and decoded under the same back end.
+	// Sector sizes must be divisible by w for the packet split.
+	BackendBitMatrix
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendTable:
+		return "table"
+	case BackendBitMatrix:
+		return "bitmatrix"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// WithBackend selects the arithmetic engine (default BackendTable).
+func WithBackend(b Backend) Option {
+	return func(d *Decoder) { d.backend = b }
+}
+
+// bmForms caches the bit-matrix expansions of a sub-decode, built
+// lazily per plan the first time the bit-matrix backend executes it.
+type bmForms struct {
+	g, finv, s *bitmatrix.BitMatrix
+}
+
+// lowerBitMatrix expands the matrices the sub-decode's sequence needs.
+func (sd *SubDecode) lowerBitMatrix(f gf.Field) *bmForms {
+	forms := &bmForms{}
+	if sd.Seq == kernel.MatrixFirst {
+		forms.g = bitmatrix.Expand(f, sd.G)
+		return forms
+	}
+	forms.finv = bitmatrix.Expand(f, sd.Finv)
+	forms.s = bitmatrix.Expand(f, sd.S)
+	return forms
+}
+
+// runSubDecodeBitMatrix performs one matrix-decoding operation on the
+// packet layout. Stats are credited with the same logical mult_XORs
+// count as the table backend (one per nonzero coefficient), keeping the
+// cost model backend-independent.
+func runSubDecodeBitMatrix(sd *SubDecode, forms *bmForms, st *stripe.Stripe, w int, stats *kernel.Stats) error {
+	if st.SectorSize()%w != 0 {
+		return fmt.Errorf("core: sector size %d not divisible by w=%d for the bit-matrix backend", st.SectorSize(), w)
+	}
+	in := packetize(st.Sectors(sd.SurvivorCols), w)
+	out := packetize(st.Sectors(sd.FaultyCols), w)
+
+	switch sd.Seq {
+	case kernel.MatrixFirst:
+		zeroPackets(out)
+		forms.g.Apply(in, out)
+	case kernel.Normal:
+		scratch := bitmatrix.AllocPackets(len(out), st.SectorSize()/w)
+		forms.s.Apply(in, scratch)
+		zeroPackets(out)
+		forms.finv.Apply(scratch, out)
+	default:
+		return fmt.Errorf("core: unknown sequence %v", sd.Seq)
+	}
+	stats.AddMultXORs(sd.ops())
+	return nil
+}
+
+// packetize splits each region into w equal packets, concatenated in
+// region order (region r's packets occupy indices r*w .. r*w+w-1).
+func packetize(regions [][]byte, w int) [][]byte {
+	out := make([][]byte, 0, len(regions)*w)
+	for _, reg := range regions {
+		plen := len(reg) / w
+		for i := 0; i < w; i++ {
+			out = append(out, reg[i*plen:(i+1)*plen:(i+1)*plen])
+		}
+	}
+	return out
+}
+
+func zeroPackets(packets [][]byte) {
+	for _, p := range packets {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+}
+
+// executeBitMatrix runs a plan entirely on the bit-matrix backend.
+// Parallel structure mirrors Execute. Bit-matrix lowering happens per
+// execution: plans are shared immutably across goroutines, so caching
+// the expansion on the SubDecode would need synchronisation; the
+// expansion costs one scalar multiply per coefficient bit-column, which
+// is noise next to the packet XORs it steers.
+func executeBitMatrix(d *Decoder, plan *Plan, st *stripe.Stripe) error {
+	w := d.code.Field().W()
+	run := func(sd *SubDecode) error {
+		return runSubDecodeBitMatrix(sd, sd.lowerBitMatrix(d.code.Field()), st, w, d.stats)
+	}
+	if plan.Whole != nil {
+		return run(&plan.Whole.SubDecode)
+	}
+	if len(plan.Groups) == 0 && plan.Rest == nil {
+		return nil
+	}
+	t := effectiveThreads(d.threads, len(plan.Groups))
+	if t <= 1 || len(plan.Groups) <= 1 {
+		for i := range plan.Groups {
+			if err := run(&plan.Groups[i]); err != nil {
+				return err
+			}
+		}
+	} else {
+		errs := make(chan error, len(plan.Groups))
+		sem := make(chan struct{}, t)
+		for i := range plan.Groups {
+			i := i
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errs <- run(&plan.Groups[i])
+			}()
+		}
+		for range plan.Groups {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+	}
+	if plan.Rest != nil {
+		return run(plan.Rest)
+	}
+	return nil
+}

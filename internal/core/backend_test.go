@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// TestBitMatrixBackendRoundTrip: encode and decode entirely on the
+// XOR-schedule backend; data must survive the full worst case, for both
+// GF(2^8) and GF(2^16) instances.
+func TestBitMatrixBackendRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(831))
+	for _, geometry := range []struct{ n, r, m, s int }{
+		{6, 6, 2, 2},   // GF(2^8)
+		{16, 16, 2, 1}, // GF(2^16)
+	} {
+		sd, err := codes.NewSD(geometry.n, geometry.r, geometry.m, geometry.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sector size divisible by every supported w.
+		st, err := stripe.New(geometry.n, geometry.r, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.FillDataRandom(1, codes.DataPositions(sd))
+
+		dec := NewDecoder(sd, WithBackend(BackendBitMatrix), WithThreads(3))
+		if err := dec.Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		pristine := st.Clone()
+
+		sc, err := sd.WorstCaseScenario(rng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Scribble(2, sc.Faulty)
+		var stats kernel.Stats
+		dec = NewDecoder(sd, WithBackend(BackendBitMatrix), WithThreads(3), WithStats(&stats))
+		if err := dec.Decode(st, sc); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Equal(pristine) {
+			t.Fatalf("%s: bit-matrix decode did not restore the stripe", sd.Name())
+		}
+		plan, err := BuildPlan(sd, sc, StrategyPPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.MultXORs() != plan.Costs.Chosen {
+			t.Fatalf("%s: logical ops %d != chosen %d", sd.Name(), stats.MultXORs(), plan.Costs.Chosen)
+		}
+	}
+}
+
+// TestBitMatrixBackendAllStrategies: every strategy decodes correctly
+// under the packet layout, including Normal-sequence sub-decodes.
+func TestBitMatrixBackendAllStrategies(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	st, err := stripe.New(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(1, codes.DataPositions(sd))
+	enc := NewDecoder(sd, WithBackend(BackendBitMatrix))
+	if err := enc.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	pristine := st.Clone()
+	for _, strat := range []Strategy{StrategyPPM, StrategyPPMMatrixFirstRest, StrategyWholeNormal, StrategyWholeMatrixFirst} {
+		work := pristine.Clone()
+		work.Scribble(int64(strat), sc.Faulty)
+		dec := NewDecoder(sd, WithBackend(BackendBitMatrix), WithStrategy(strat))
+		if err := dec.Decode(work, sc); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if !work.Equal(pristine) {
+			t.Fatalf("%v: wrong recovery", strat)
+		}
+	}
+}
+
+// TestBitMatrixBackendLayoutDiffers: the two back ends intentionally
+// produce different parity bytes for the same data (different symbol
+// layouts) — mixing them must be caught by the parity check.
+func TestBitMatrixBackendLayoutDiffers(t *testing.T) {
+	sd := paperSD(t)
+	a, err := stripe.New(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FillDataRandom(7, codes.DataPositions(sd))
+	b := a.Clone()
+
+	if err := NewDecoder(sd).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewDecoder(sd, WithBackend(BackendBitMatrix)).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("table and bit-matrix encodes agree byte-for-byte; layouts should differ")
+	}
+}
+
+// TestBitMatrixBackendAlignment: sector sizes not divisible by w are
+// rejected, not silently mis-split.
+func TestBitMatrixBackendAlignment(t *testing.T) {
+	sd, err := codes.NewSD(16, 16, 1, 1) // GF(2^16): needs size % 16 == 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stripe.New(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(1, codes.DataPositions(sd))
+	dec := NewDecoder(sd, WithBackend(BackendBitMatrix))
+	if err := dec.Encode(st); err == nil {
+		t.Fatal("misaligned sector size accepted by the bit-matrix backend")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if BackendTable.String() != "table" || BackendBitMatrix.String() != "bitmatrix" {
+		t.Fatal("backend names wrong")
+	}
+	if Backend(9).String() == "" {
+		t.Fatal("unknown backend renders empty")
+	}
+}
+
+// TestBackendHybridPrecedence: when both WithBackend(BackendBitMatrix)
+// and WithHybrid are set, the bit-matrix engine takes precedence (it
+// has its own parallel structure); the decode stays correct.
+func TestBackendHybridPrecedence(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	st, err := stripe.New(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(1, codes.DataPositions(sd))
+	dec := NewDecoder(sd, WithBackend(BackendBitMatrix), WithHybrid(true), WithThreads(4))
+	if err := dec.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	pristine := st.Clone()
+	st.Scribble(1, sc.Faulty)
+	if err := dec.Decode(st, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(pristine) {
+		t.Fatal("combined options decoded wrongly")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/codes"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Decoder binds a code instance to PPM execution options. A Decoder is
+// safe for concurrent use by multiple goroutines on distinct stripes.
+type Decoder struct {
+	code     codes.Code
+	threads  int
+	strategy Strategy
+	stats    *kernel.Stats
+	hybrid   bool
+	backend  Backend
+}
+
+// Option configures a Decoder.
+type Option func(*Decoder)
+
+// WithThreads sets the worker count T for the parallel phase.
+// t <= 0 selects the paper's default min(4, cores).
+func WithThreads(t int) Option {
+	return func(d *Decoder) { d.threads = t }
+}
+
+// WithStrategy overrides the planning strategy (default StrategyPPM).
+func WithStrategy(s Strategy) Option {
+	return func(d *Decoder) { d.strategy = s }
+}
+
+// WithStats attaches an operation counter shared across decodes.
+func WithStats(s *kernel.Stats) Option {
+	return func(d *Decoder) { d.stats = s }
+}
+
+// WithHybrid enables the hybrid executor (extension beyond the paper):
+// serial phases — H_rest, whole-matrix fallbacks, single-group plans —
+// are byte-range-chunked across the worker budget, so cases 1 and 2 of
+// §III-C still use every core. Recovered bytes and operation counts are
+// identical to the standard executor's.
+func WithHybrid(enabled bool) Option {
+	return func(d *Decoder) { d.hybrid = enabled }
+}
+
+// NewDecoder builds a PPM decoder for the code.
+func NewDecoder(c codes.Code, opts ...Option) *Decoder {
+	d := &Decoder{code: c, strategy: StrategyPPM}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Code returns the bound code instance.
+func (d *Decoder) Code() codes.Code { return d.code }
+
+// Plan prepares (and returns) the decode plan for a scenario without
+// touching any data, for inspection or reuse across stripes.
+func (d *Decoder) Plan(sc codes.Scenario) (*Plan, error) {
+	return BuildPlan(d.code, sc, d.strategy)
+}
+
+// Decode recovers the scenario's faulty sectors of st in place: plan,
+// parallel phase, merge phase.
+func (d *Decoder) Decode(st *stripe.Stripe, sc codes.Scenario) error {
+	if err := d.checkGeometry(st); err != nil {
+		return err
+	}
+	plan, err := BuildPlan(d.code, sc, d.strategy)
+	if err != nil {
+		return err
+	}
+	return d.execute(plan, st)
+}
+
+// DecodeWithPlan runs a previously built plan against a stripe —
+// the repeated-decode fast path (one stripe after another fails the
+// same way when a whole disk dies).
+func (d *Decoder) DecodeWithPlan(plan *Plan, st *stripe.Stripe) error {
+	if err := d.checkGeometry(st); err != nil {
+		return err
+	}
+	return d.execute(plan, st)
+}
+
+// execute dispatches to the configured executor.
+func (d *Decoder) execute(plan *Plan, st *stripe.Stripe) error {
+	if d.backend == BackendBitMatrix {
+		return executeBitMatrix(d, plan, st)
+	}
+	if d.hybrid {
+		return ExecuteHybrid(plan, st, d.code.Field(), d.threads, d.stats)
+	}
+	return Execute(plan, st, d.code.Field(), d.threads, d.stats)
+}
+
+// Encode computes all parity sectors from the data sectors, as the
+// decode special case whose erasures are the parity positions. For SD
+// codes this parallelises over the stripe rows that hold no coding
+// sector (p = r - z rows, §IV).
+func (d *Decoder) Encode(st *stripe.Stripe) error {
+	return d.Decode(st, codes.EncodingScenario(d.code))
+}
+
+func (d *Decoder) checkGeometry(st *stripe.Stripe) error {
+	if st.N() != d.code.NumStrips() || st.R() != d.code.NumRows() {
+		return fmt.Errorf("core: stripe %dx%d does not match code %s (%dx%d)",
+			st.N(), st.R(), d.code.Name(), d.code.NumStrips(), d.code.NumRows())
+	}
+	if st.SectorSize()%d.code.Field().WordBytes() != 0 {
+		return fmt.Errorf("core: sector size %d not a multiple of GF(2^%d) words",
+			st.SectorSize(), d.code.Field().W())
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Execute runs a plan against a stripe: Step 3 fans the p independent
+// sub-decodes over T worker goroutines, Step 4 merges the recovered
+// blocks into the remaining decode. threads <= 0 selects the paper's
+// default T = min(4, cores); the effective T never exceeds p ("we also
+// restrain the number of threads T (T <= p)", §III-C).
+func Execute(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats) error {
+	if p == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	if p.Whole != nil {
+		return runSubDecode(&p.Whole.SubDecode, st, field, stats)
+	}
+	if len(p.Groups) == 0 && p.Rest == nil {
+		return nil // nothing faulty
+	}
+
+	t := effectiveThreads(threads, len(p.Groups))
+	switch {
+	case len(p.Groups) == 0:
+		// Case 1: no independent sub-matrix; only the remaining decode.
+	case t <= 1 || len(p.Groups) == 1:
+		// Case 2 (or single worker): decode groups serially.
+		for i := range p.Groups {
+			if err := runSubDecode(&p.Groups[i], st, field, stats); err != nil {
+				return err
+			}
+		}
+	default:
+		// Case 3/4: thread (g mod T) processes group g, as in
+		// Algorithm 1. Workers pick up a fixed stride of groups.
+		var wg sync.WaitGroup
+		errs := make([]error, t)
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for g := w; g < len(p.Groups); g += t {
+					if err := runSubDecode(&p.Groups[g], st, field, stats); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if p.Rest != nil {
+		return runSubDecode(p.Rest, st, field, stats)
+	}
+	return nil
+}
+
+// DefaultThreads is the paper's thread policy: min(4, core count).
+func DefaultThreads() int {
+	if c := runtime.NumCPU(); c < 4 {
+		return c
+	}
+	return 4
+}
+
+func effectiveThreads(threads, p int) int {
+	t := threads
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if t > p {
+		t = p
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// runSubDecode performs one matrix-decoding operation (Step 3.3 or
+// Step 4): writes the recovered faulty blocks into the stripe. The
+// compiled fast path is used when the plan was lowered (always, for
+// plans from BuildPlan); the matrix path remains as the fallback for
+// hand-assembled sub-decodes in tests.
+func runSubDecode(sd *SubDecode, st *stripe.Stripe, field gf.Field, stats *kernel.Stats) error {
+	out := st.Sectors(sd.FaultyCols)
+	in := st.Sectors(sd.SurvivorCols)
+	if sd.cG != nil || sd.cFinv != nil {
+		kernel.CompiledProduct(sd.cFinv, sd.cS, sd.cG, in, out, nil, sd.Seq, stats)
+		return nil
+	}
+	kernel.Product(field, sd.Finv, sd.S, in, out, nil, sd.Seq, stats)
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Hybrid execution (extension beyond the paper). PPM's weakness is its
+// serial tail: when p <= 1 (§III-C cases 1-2) or when H_rest dominates,
+// workers idle while one matrix decode runs. The hybrid executor keeps
+// the paper's matrix-oriented partition for the parallel phase and adds
+// the related-work byte-range splitting to every *serial* sub-decode
+// (H_rest, the whole-matrix fallback, and single-group plans), so a
+// multi-core host is busy in both phases. Costs are unchanged — the
+// same mult_XORs are performed, just spread across workers — and the
+// stats contract still counts one operation per nonzero coefficient.
+
+// runSubDecodeChunked runs one sub-decode with its byte range split
+// over `workers` goroutines. workers <= 1 falls back to the serial run.
+func runSubDecodeChunked(sd *SubDecode, st *stripe.Stripe, field gf.Field, workers int, stats *kernel.Stats) error {
+	if workers <= 1 {
+		return runSubDecode(sd, st, field, stats)
+	}
+	out := st.Sectors(sd.FaultyCols)
+	in := st.Sectors(sd.SurvivorCols)
+	chunks := kernel.ChunkRanges(st.SectorSize(), workers, field.WordBytes())
+	if len(chunks) <= 1 {
+		return runSubDecode(sd, st, field, stats)
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		ch := ch
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cin := kernel.SliceRegions(in, ch[0], ch[1])
+			cout := kernel.SliceRegions(out, ch[0], ch[1])
+			// Per-chunk stats are discarded; the logical operation count
+			// is added once below.
+			if sd.cG != nil || sd.cFinv != nil {
+				kernel.CompiledProduct(sd.cFinv, sd.cS, sd.cG, cin, cout, nil, sd.Seq, nil)
+			} else {
+				kernel.Product(field, sd.Finv, sd.S, cin, cout, nil, sd.Seq, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.AddMultXORs(sd.ops())
+	return nil
+}
+
+// ExecuteHybrid runs a plan with the hybrid policy: parallel groups as
+// in Execute, serial phases chunked over the worker budget.
+func ExecuteHybrid(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats) error {
+	if p == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	t := threads
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if p.Whole != nil {
+		return runSubDecodeChunked(&p.Whole.SubDecode, st, field, t, stats)
+	}
+	if len(p.Groups) == 0 && p.Rest == nil {
+		return nil
+	}
+
+	switch {
+	case len(p.Groups) == 0:
+		// Case 1: only the remaining decode; chunk it below.
+	case len(p.Groups) == 1:
+		// Case 2: one group; chunk it instead of running it alone.
+		if err := runSubDecodeChunked(&p.Groups[0], st, field, t, stats); err != nil {
+			return err
+		}
+	case len(p.Groups) >= t:
+		// Enough groups to keep every worker on whole sub-decodes.
+		var wg sync.WaitGroup
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for g := w; g < len(p.Groups); g += t {
+					_ = runSubDecode(&p.Groups[g], st, field, stats)
+				}
+			}(w)
+		}
+		wg.Wait()
+	default:
+		// Fewer groups than workers: give each group a slice of the
+		// surplus and chunk its byte range across that share.
+		share := t / len(p.Groups)
+		extra := t % len(p.Groups)
+		var wg sync.WaitGroup
+		for g := range p.Groups {
+			g := g
+			workers := share
+			if g < extra {
+				workers++
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = runSubDecodeChunked(&p.Groups[g], st, field, workers, stats)
+			}()
+		}
+		wg.Wait()
+	}
+
+	if p.Rest != nil {
+		return runSubDecodeChunked(p.Rest, st, field, t, stats)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/kernel"
+)
+
+// TestHybridMatchesStandard: hybrid execution recovers the same bytes
+// with the same logical operation count across code families and plan
+// shapes (p = 0, p = 1, case 3.2, whole-matrix fallbacks).
+func TestHybridMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+
+	sd, err := codes.NewSD(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp, err := codes.NewRDP(5) // p = 1 shape for double disk failures
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := codes.NewEVENODD(5) // p = 0 shape
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type tc struct {
+		code codes.Code
+		gen  func() (codes.Scenario, error)
+	}
+	cases := []tc{
+		{sd, func() (codes.Scenario, error) { return sd.WorstCaseScenario(rng, 1) }},
+		{rdp, func() (codes.Scenario, error) { return rdp.WorstCaseScenario(rng) }},
+		{eo, func() (codes.Scenario, error) { return eo.WorstCaseScenario(rng) }},
+	}
+	for _, cse := range cases {
+		cse := cse
+		t.Run(cse.code.Name(), func(t *testing.T) {
+			st := encodedStripe(t, cse.code, 64, 802)
+			want := st.Clone()
+			for _, strat := range []Strategy{StrategyPPM, StrategyWholeNormal} {
+				sc, err := cse.gen()
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := BuildPlan(cse.code, sc, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				std := st.Clone()
+				std.Scribble(1, sc.Faulty)
+				var stdStats kernel.Stats
+				if err := Execute(plan, std, cse.code.Field(), 4, &stdStats); err != nil {
+					t.Fatal(err)
+				}
+
+				hyb := st.Clone()
+				hyb.Scribble(1, sc.Faulty)
+				var hybStats kernel.Stats
+				if err := ExecuteHybrid(plan, hyb, cse.code.Field(), 4, &hybStats); err != nil {
+					t.Fatal(err)
+				}
+
+				if !std.Equal(want) || !hyb.Equal(want) {
+					t.Fatalf("%v: recovery mismatch", strat)
+				}
+				if stdStats.MultXORs() != hybStats.MultXORs() {
+					t.Fatalf("%v: std ops %d != hybrid ops %d", strat, stdStats.MultXORs(), hybStats.MultXORs())
+				}
+			}
+		})
+	}
+}
+
+// TestHybridDecoderOption drives WithHybrid through the Decoder.
+func TestHybridDecoderOption(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	st := encodedStripe(t, sd, 64, 803)
+	want := st.Clone()
+	st.Scribble(9, sc.Faulty)
+	var stats kernel.Stats
+	dec := NewDecoder(sd, WithHybrid(true), WithThreads(3), WithStats(&stats))
+	if err := dec.Decode(st, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("hybrid decoder wrong")
+	}
+	if stats.MultXORs() != 29 { // the worked example's C4
+		t.Fatalf("ops = %d, want 29", stats.MultXORs())
+	}
+}
+
+// TestHybridTinySectors: chunking degenerates gracefully when a sector
+// holds fewer words than there are workers.
+func TestHybridTinySectors(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	st := encodedStripe(t, sd, 4, 804) // one word per sector
+	want := st.Clone()
+	st.Scribble(2, sc.Faulty)
+	dec := NewDecoder(sd, WithHybrid(true), WithThreads(8))
+	if err := dec.Decode(st, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("tiny-sector hybrid decode wrong")
+	}
+}
+
+func TestHybridNilPlan(t *testing.T) {
+	sd := paperSD(t)
+	if err := ExecuteHybrid(nil, nil, sd.Field(), 2, nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+// TestHybridEmptyPlan: nothing faulty, nothing touched.
+func TestHybridEmptyPlan(t *testing.T) {
+	sd := paperSD(t)
+	plan, err := BuildPlan(sd, codes.Scenario{}, StrategyPPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, sd, 64, 805)
+	want := st.Clone()
+	if err := ExecuteHybrid(plan, st, sd.Field(), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("empty hybrid plan touched the stripe")
+	}
+}
+
+// TestHybridFewGroupsManyWorkers: 1 < p < T exercises the surplus-
+// sharing branch (each group chunked across its worker share).
+func TestHybridFewGroupsManyWorkers(t *testing.T) {
+	sd, err := codes.NewSD(6, 2, 2, 1) // r=2 -> at most 2 groups
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(806))
+	sc, err := sd.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, sd, 64, 807)
+	want := st.Clone()
+	st.Scribble(3, sc.Faulty)
+	plan, err := BuildPlan(sd, sc, StrategyPPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats kernel.Stats
+	if err := ExecuteHybrid(plan, st, sd.Field(), 8, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("surplus-worker hybrid decode wrong")
+	}
+	if stats.MultXORs() != plan.Costs.Chosen {
+		t.Fatalf("ops %d != chosen %d", stats.MultXORs(), plan.Costs.Chosen)
+	}
+}

@@ -1,0 +1,67 @@
+// Package core implements the paper's contribution: the Partitioned and
+// Parallel Matrix (PPM) algorithm. A decode is planned in three steps —
+// build the log table (§III-A), partition H into p independent
+// sub-matrices plus a remaining sub-matrix, and choose the calculation
+// sequence with the lowest computational cost (§III-B) — and executed by
+// decoding the independent sub-matrices on T worker goroutines before
+// merging the recovered blocks into the remaining decode (§III-C/D).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ppm/internal/matrix"
+)
+
+// LogRow is one row (i, t_i, l_i) of the log table: for row i of H,
+// T counts the nonzero coefficients that fall in faulty columns and L
+// lists those column indices in ascending order.
+type LogRow struct {
+	Row int
+	T   int
+	L   []int
+}
+
+// LogTable is the §III-A data structure driving the partition. It has
+// one entry per row of H.
+type LogTable struct {
+	Rows []LogRow
+}
+
+// BuildLogTable scans H against the faulty column set. faulty must be
+// sorted ascending (codes.Scenario guarantees it).
+func BuildLogTable(h *matrix.Matrix, faulty []int) *LogTable {
+	lt := &LogTable{Rows: make([]LogRow, h.Rows())}
+	for i := 0; i < h.Rows(); i++ {
+		row := h.Row(i)
+		lr := LogRow{Row: i}
+		for _, col := range faulty {
+			if row[col] != 0 {
+				lr.L = append(lr.L, col)
+			}
+		}
+		lr.T = len(lr.L)
+		lt.Rows[i] = lr
+	}
+	return lt
+}
+
+// key renders l_i as a map key for grouping rows with identical lists.
+func (lr LogRow) key() string {
+	parts := make([]string, len(lr.L))
+	for i, c := range lr.L {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the table the way Figure 3 prints it.
+func (lt *LogTable) String() string {
+	var b strings.Builder
+	b.WriteString("i   ti  li\n")
+	for _, lr := range lt.Rows {
+		fmt.Fprintf(&b, "%-3d %-3d (%s)\n", lr.Row, lr.T, lr.key())
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/codes"
+
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Partial decoding (extension). A degraded read needs one block, not
+// every lost block in the stripe; the paper's partition makes the
+// minimal work explicit: a wanted block recovered by an independent
+// sub-matrix needs only that sub-decode, while a block in H_rest needs
+// H_rest plus the groups whose outputs H_rest consumes as survivors.
+// For an LRC degraded read this collapses to the single local-group
+// decode — the core of the code family's design — without any special
+// casing.
+
+// PartialSelection lists which sub-decodes of a plan a partial decode
+// must execute to materialise the wanted sectors.
+type PartialSelection struct {
+	// GroupIdx are indices into Plan.Groups, in execution order.
+	GroupIdx []int
+	// NeedRest marks whether the remaining decode must run.
+	NeedRest bool
+	// Ops is the predicted mult_XORs of the selection.
+	Ops int64
+}
+
+// SelectPartial computes the minimal sub-decode closure for the wanted
+// sectors. Wanted sectors that are not faulty in the plan's scenario
+// are ignored (they are readable as-is). Whole-matrix plans always
+// execute fully.
+func (p *Plan) SelectPartial(wanted []int) (PartialSelection, error) {
+	var sel PartialSelection
+	if p.Whole != nil {
+		sel.NeedRest = false
+		sel.Ops = p.Whole.ops()
+		return sel, nil
+	}
+	faultyWanted := make(map[int]bool)
+	inScenario := make(map[int]bool, len(p.Scenario.Faulty))
+	for _, c := range p.Scenario.Faulty {
+		inScenario[c] = true
+	}
+	for _, w := range wanted {
+		if inScenario[w] {
+			faultyWanted[w] = true
+		}
+	}
+	if len(faultyWanted) == 0 {
+		return sel, nil
+	}
+
+	needGroup := make([]bool, len(p.Groups))
+	if p.Rest != nil {
+		for _, c := range p.Rest.FaultyCols {
+			if faultyWanted[c] {
+				sel.NeedRest = true
+				break
+			}
+		}
+	}
+	// Groups holding wanted blocks directly.
+	for gi := range p.Groups {
+		for _, c := range p.Groups[gi].FaultyCols {
+			if faultyWanted[c] {
+				needGroup[gi] = true
+				break
+			}
+		}
+	}
+	// H_rest consumes recovered group outputs as survivors: pull in
+	// every group whose faulty columns feed it.
+	if sel.NeedRest {
+		restSurvivor := make(map[int]bool, len(p.Rest.SurvivorCols))
+		for _, c := range p.Rest.SurvivorCols {
+			restSurvivor[c] = true
+		}
+		for gi := range p.Groups {
+			if needGroup[gi] {
+				continue
+			}
+			for _, c := range p.Groups[gi].FaultyCols {
+				if restSurvivor[c] {
+					needGroup[gi] = true
+					break
+				}
+			}
+		}
+	}
+	for gi, need := range needGroup {
+		if need {
+			sel.GroupIdx = append(sel.GroupIdx, gi)
+			sel.Ops += p.Groups[gi].ops()
+		}
+	}
+	if sel.NeedRest {
+		sel.Ops += p.Rest.ops()
+	}
+	if len(sel.GroupIdx) == 0 && !sel.NeedRest {
+		return sel, fmt.Errorf("core: wanted sectors %v are faulty but belong to no sub-decode (plan inconsistent)", wanted)
+	}
+	return sel, nil
+}
+
+// ExecutePartial runs only the selected sub-decodes. On return the
+// wanted sectors hold recovered content; other faulty sectors may or
+// may not have been recovered (those in executed groups were).
+func ExecutePartial(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats, wanted []int) error {
+	if p == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	if p.Whole != nil {
+		return runSubDecode(&p.Whole.SubDecode, st, field, stats)
+	}
+	sel, err := p.SelectPartial(wanted)
+	if err != nil {
+		return err
+	}
+	t := effectiveThreads(threads, len(sel.GroupIdx))
+	if t <= 1 || len(sel.GroupIdx) <= 1 {
+		for _, gi := range sel.GroupIdx {
+			if err := runSubDecode(&p.Groups[gi], st, field, stats); err != nil {
+				return err
+			}
+		}
+	} else {
+		done := make(chan error, len(sel.GroupIdx))
+		sem := make(chan struct{}, t)
+		for _, gi := range sel.GroupIdx {
+			gi := gi
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				done <- runSubDecode(&p.Groups[gi], st, field, stats)
+			}()
+		}
+		for range sel.GroupIdx {
+			if err := <-done; err != nil {
+				return err
+			}
+		}
+	}
+	if sel.NeedRest {
+		return runSubDecode(p.Rest, st, field, stats)
+	}
+	return nil
+}
+
+// DecodeSectors recovers only the listed sectors of the scenario — the
+// degraded-read path. The remaining faulty sectors are left as they
+// are unless their sub-decodes were needed anyway.
+func (d *Decoder) DecodeSectors(st *stripe.Stripe, sc codes.Scenario, wanted []int) error {
+	if err := d.checkGeometry(st); err != nil {
+		return err
+	}
+	plan, err := BuildPlan(d.code, sc, d.strategy)
+	if err != nil {
+		return err
+	}
+	return ExecutePartial(plan, st, d.code.Field(), d.threads, d.stats, wanted)
+}

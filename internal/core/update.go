@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/codes"
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Updater implements the small-write path (extension beyond the paper):
+// when one data sector changes, only the parity sectors whose encoding
+// equations involve it need touching. From the encode plan's generator
+// G (parity = G * data, the MatrixFirst product of the encoding
+// scenario), an update of data sector j is
+//
+//	parity_i ^= G[i][j] * (old_j XOR new_j)   for every i with G[i][j] != 0
+//
+// which costs one mult_XORs per nonzero of G's column j — for LRC that
+// is the sector's local parity plus the g globals; for SD the m disk
+// parities of its stripe row plus the s sector parities. A full
+// re-encode would cost u(G).
+type Updater struct {
+	code   codes.Code
+	field  gf.Field
+	parity []int // G's row order (global sector indices)
+	data   []int // G's column order (global sector indices)
+	dataAt map[int]int
+	// column j of G, compiled: the multipliers to apply to each parity.
+	columns [][]updateTerm
+}
+
+type updateTerm struct {
+	parityRow int
+	mult      gf.Multiplier
+}
+
+// NewUpdater derives and compiles the generator for the code.
+func NewUpdater(c codes.Code) (*Updater, error) {
+	sub, err := buildWholeSubDecode(c, codes.EncodingScenario(c))
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving generator: %w", err)
+	}
+	u := &Updater{
+		code:   c,
+		field:  c.Field(),
+		parity: sub.FaultyCols,
+		data:   sub.SurvivorCols,
+		dataAt: make(map[int]int, len(sub.SurvivorCols)),
+	}
+	for j, col := range u.data {
+		u.dataAt[col] = j
+	}
+	g := sub.G
+	u.columns = make([][]updateTerm, len(u.data))
+	for j := range u.data {
+		for i := 0; i < g.Rows(); i++ {
+			if a := g.At(i, j); a != 0 {
+				u.columns[j] = append(u.columns[j], updateTerm{
+					parityRow: i,
+					mult:      gf.MultiplierFor(u.field, a),
+				})
+			}
+		}
+	}
+	return u, nil
+}
+
+// UpdateCost returns the number of mult_XORs an update of the given
+// data sector performs (the nonzero count of G's column).
+func (u *Updater) UpdateCost(dataIdx int) (int, error) {
+	j, ok := u.dataAt[dataIdx]
+	if !ok {
+		return 0, fmt.Errorf("core: sector %d is not a data sector", dataIdx)
+	}
+	return len(u.columns[j]), nil
+}
+
+// Update overwrites data sector dataIdx of an encoded stripe with
+// newContent and patches every affected parity sector in place, leaving
+// the stripe a valid codeword. newContent must have the stripe's sector
+// size.
+func (u *Updater) Update(st *stripe.Stripe, dataIdx int, newContent []byte, stats *kernel.Stats) error {
+	if st.N() != u.code.NumStrips() || st.R() != u.code.NumRows() {
+		return fmt.Errorf("core: stripe %dx%d does not match code %s", st.N(), st.R(), u.code.Name())
+	}
+	if len(newContent) != st.SectorSize() {
+		return fmt.Errorf("core: new content is %d bytes, sector size is %d", len(newContent), st.SectorSize())
+	}
+	j, ok := u.dataAt[dataIdx]
+	if !ok {
+		return fmt.Errorf("core: sector %d is not a data sector", dataIdx)
+	}
+
+	old := st.Sector(dataIdx)
+	delta := make([]byte, len(old))
+	for i := range delta {
+		delta[i] = old[i] ^ newContent[i]
+	}
+	var ops int64
+	for _, term := range u.columns[j] {
+		term.mult.MultXOR(st.Sector(u.parity[term.parityRow]), delta)
+		ops++
+	}
+	copy(old, newContent)
+	stats.AddMultXORs(ops)
+	return nil
+}

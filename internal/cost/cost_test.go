@@ -1,0 +1,192 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/gf"
+)
+
+// TestClosedFormPaperExample pins the formulas to the worked example's
+// published numbers (§II-B / §III-B).
+func TestClosedFormPaperExample(t *testing.T) {
+	c := ClosedForm(4, 4, 1, 1, 1)
+	if c.C1 != 35 || c.C2 != 31 || c.C3 != 37 || c.C4 != 29 {
+		t.Fatalf("closed form = %+v, paper says 35/31/37/29", c)
+	}
+	if red := ClosedFormReduction(4, 4, 1, 1, 1); red != 6 {
+		t.Fatalf("C1-C4 = %d, want 6 (m²(z+1)(r-1) with m=1,z=1,r=4)", red)
+	}
+}
+
+// TestExactMatchesClosedFormExactly: configurations where the instance
+// family matches the paper's structural assumptions reproduce the
+// closed forms to the operation.
+func TestExactMatchesClosedFormExactly(t *testing.T) {
+	sd, err := codes.NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := codes.NewScenario(sd, []int{2, 6, 10, 13, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(sd, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != ClosedForm(4, 4, 1, 1, 1) {
+		t.Fatalf("exact = %+v, closed = %+v", exact, ClosedForm(4, 4, 1, 1, 1))
+	}
+}
+
+// TestExactTracksClosedForm: across the paper's parameter grid the exact
+// counts track the closed forms within a small tolerance (deviations
+// come from accidental zero coefficients in F^-1·S products and from
+// sector failures landing on coding-sector rows).
+func TestExactTracksClosedForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep")
+	}
+	for _, cfg := range []struct{ n, r, m, s, z int }{
+		{6, 16, 1, 1, 1}, {6, 16, 2, 2, 1}, {6, 16, 2, 2, 2},
+		{8, 16, 3, 3, 2}, {11, 16, 2, 3, 3}, {16, 16, 1, 2, 1},
+		{21, 8, 3, 1, 1}, {24, 16, 2, 1, 1},
+	} {
+		sd, err := codes.NewSD(cfg.n, cfg.r, cfg.m, cfg.s)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		exact, _, err := ExactSDWorstCase(sd, cfg.z, 42)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		cf := ClosedForm(cfg.n, cfg.r, cfg.m, cfg.s, cfg.z)
+		check := func(name string, got, want int64) {
+			if want == 0 {
+				t.Fatalf("%+v: closed-form %s is zero", cfg, name)
+			}
+			if dev := math.Abs(float64(got-want)) / float64(want); dev > 0.03 {
+				t.Errorf("%+v: %s exact %d vs closed %d (%.1f%% off)", cfg, name, got, want, dev*100)
+			}
+		}
+		check("C1", exact.C1, cf.C1)
+		check("C2", exact.C2, cf.C2)
+		check("C3", exact.C3, cf.C3)
+		check("C4", exact.C4, cf.C4)
+	}
+}
+
+// TestC4AlwaysBeatsC1: the paper's headline analytic claim, C4 < C1 for
+// every configuration in the studied range.
+func TestC4AlwaysBeatsC1(t *testing.T) {
+	for n := 4; n <= 24; n += 5 {
+		for r := 4; r <= 24; r += 5 {
+			for m := 1; m <= 3 && m < n; m++ {
+				for s := 1; s <= 3; s++ {
+					for z := 1; z <= s && z <= r; z++ {
+						c := ClosedForm(n, r, m, s, z)
+						if c.C4 >= c.C1 {
+							t.Fatalf("n=%d r=%d m=%d s=%d z=%d: C4=%d >= C1=%d", n, r, m, s, z, c.C4, c.C1)
+						}
+						if c.C2 >= c.C3 {
+							t.Fatalf("n=%d r=%d m=%d s=%d z=%d: C3=%d <= C2=%d (paper: C3-C2 > 0)", n, r, m, s, z, c.C3, c.C2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestC4RatioShrinksWithR reproduces Figure 6's observation: C4/C1
+// decreases as r increases.
+func TestC4RatioShrinksWithR(t *testing.T) {
+	prev := math.Inf(1)
+	for r := 4; r <= 24; r += 4 {
+		c := ClosedForm(16, r, 2, 3, 1)
+		_, _, r4 := c.Ratio4()
+		if r4 >= prev {
+			t.Fatalf("r=%d: C4/C1 = %.4f did not decrease (prev %.4f)", r, r4, prev)
+		}
+		prev = r4
+	}
+}
+
+// TestC4RatioShrinksWithZ reproduces Figure 5: C4/C1 decreases as z
+// grows (s=3, r=16).
+func TestC4RatioShrinksWithZ(t *testing.T) {
+	prev := math.Inf(1)
+	for z := 1; z <= 3; z++ {
+		c := ClosedForm(16, 16, 2, 3, z)
+		_, _, r4 := c.Ratio4()
+		if r4 >= prev {
+			t.Fatalf("z=%d: C4/C1 = %.4f did not decrease (prev %.4f)", z, r4, prev)
+		}
+		prev = r4
+	}
+}
+
+// TestC4RatioGrowsWithN reproduces Figure 4's observation: C4/C1 grows
+// with n.
+func TestC4RatioGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for n := 6; n <= 24; n += 6 {
+		c := ClosedForm(n, 16, 2, 2, 1)
+		_, _, r4 := c.Ratio4()
+		if r4 <= prev {
+			t.Fatalf("n=%d: C4/C1 = %.4f did not increase (prev %.4f)", n, r4, prev)
+		}
+		prev = r4
+	}
+}
+
+// TestSweepN drives the Figure 4 series generator end to end.
+func TestSweepN(t *testing.T) {
+	pts, err := SweepN(6, 11, 5, 8, 2, 2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.R4 <= 0 || p.R4 >= 1 {
+			t.Fatalf("n=%d: C4/C1 = %.4f out of (0,1)", p.N, p.R4)
+		}
+		if p.C1 <= 0 {
+			t.Fatalf("n=%d: C1 = %d", p.N, p.C1)
+		}
+	}
+}
+
+// TestPaperAverageC4Ratio reproduces the §III-B aggregate: over the
+// Figure 4 grid (r=16, z=1, n in 6..24, m,s in 1..3) the average C4/C1
+// is about 85.78%, ranging from roughly 48% to 98%.
+func TestPaperAverageC4Ratio(t *testing.T) {
+	sum, count := 0.0, 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range []int{1, 2, 3} {
+		for _, s := range []int{1, 2, 3} {
+			for n := 6; n <= 24; n++ {
+				c := ClosedForm(n, 16, m, s, 1)
+				_, _, r4 := c.Ratio4()
+				sum += r4
+				count++
+				lo = math.Min(lo, r4)
+				hi = math.Max(hi, r4)
+			}
+		}
+	}
+	avg := sum / float64(count)
+	if avg < 0.82 || avg > 0.90 {
+		t.Fatalf("average C4/C1 = %.4f, paper says 85.78%%", avg)
+	}
+	if lo < 0.44 || lo > 0.55 {
+		t.Fatalf("min C4/C1 = %.4f, paper says 47.97%%", lo)
+	}
+	if hi < 0.95 || hi > 1.0 {
+		t.Fatalf("max C4/C1 = %.4f, paper says 98.06%%", hi)
+	}
+}

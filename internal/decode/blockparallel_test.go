@@ -1,0 +1,118 @@
+package decode
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/kernel"
+)
+
+func TestBlockParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	sd, err := codes.NewSD(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, sd, 64, 132)
+	want := st.Clone()
+	for trial := 0; trial < 5; trial++ {
+		sc, err := sd.WorstCaseScenario(rng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 2, 3, 7} {
+			damaged := st.Clone()
+			damaged.Scribble(int64(trial), sc.Faulty)
+			if err := DecodeBlockParallel(sd, damaged, sc, threads, Options{}); err != nil {
+				t.Fatalf("threads=%d: %v", threads, err)
+			}
+			if !damaged.Equal(want) {
+				t.Fatalf("threads=%d: wrong recovery", threads)
+			}
+		}
+	}
+}
+
+// TestBlockParallelCostIsC1: block-level parallelism does not reduce
+// the computation — its normalised cost equals the serial C1.
+func TestBlockParallelCostIsC1(t *testing.T) {
+	sd, err := codes.NewSD(6, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(133))
+	sc, err := sd.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, sd, 64, 134)
+	st.Scribble(1, sc.Faulty)
+
+	var serial kernel.Stats
+	if err := Decode(sd, st.Clone(), sc, Options{Stats: &serial}); err != nil {
+		t.Fatal(err)
+	}
+	var parallel kernel.Stats
+	if err := DecodeBlockParallel(sd, st.Clone(), sc, 4, Options{Stats: &parallel}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.MultXORs() != parallel.MultXORs() {
+		t.Fatalf("serial C1 = %d, block-parallel normalised cost = %d",
+			serial.MultXORs(), parallel.MultXORs())
+	}
+}
+
+func TestBlockParallelEmptyAndErrors(t *testing.T) {
+	sd, err := codes.NewSD(6, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, sd, 64, 135)
+	want := st.Clone()
+	if err := DecodeBlockParallel(sd, st, codes.Scenario{}, 4, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("empty decode touched the stripe")
+	}
+	// Too many erasures.
+	sc, err := codes.NewScenario(sd, []int{0, 1, 2, 3, 4, 6, 7, 8, 9, 10, 12, 13, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeBlockParallel(sd, st, sc, 4, Options{}); err == nil {
+		t.Fatal("over-capacity pattern accepted")
+	}
+}
+
+func TestChunkRanges(t *testing.T) {
+	cases := []struct {
+		size, parts, word int
+		want              [][2]int
+	}{
+		{16, 2, 4, [][2]int{{0, 8}, {8, 16}}},
+		{12, 4, 4, [][2]int{{0, 4}, {4, 8}, {8, 12}}},   // parts capped at words
+		{20, 3, 4, [][2]int{{0, 8}, {8, 16}, {16, 20}}}, // uneven split
+		{8, 1, 2, [][2]int{{0, 8}}},
+		{4, 9, 4, [][2]int{{0, 4}}},
+	}
+	for _, c := range cases {
+		got := kernel.ChunkRanges(c.size, c.parts, c.word)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("kernel.ChunkRanges(%d,%d,%d) = %v, want %v", c.size, c.parts, c.word, got, c.want)
+		}
+		// Coverage and alignment invariants.
+		prev := 0
+		for _, r := range got {
+			if r[0] != prev || r[1] <= r[0] || r[0]%c.word != 0 {
+				t.Fatalf("bad range %v in %v", r, got)
+			}
+			prev = r[1]
+		}
+		if prev != c.size {
+			t.Fatalf("ranges %v do not cover %d bytes", got, c.size)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the mult_XORs primitive. Throughput here bounds
+// every encode/decode number in the repository, the way GF-Complete's
+// SIMD kernels bounded the paper's.
+
+func benchMultXORs(b *testing.B, f Field, size int) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	rng.Read(src)
+	rng.Read(dst)
+	a := uint32(0x53) & uint32((f.Order()-1)&0xFFFFFFFF)
+	if a <= 1 {
+		a = 2
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MultXORs(dst, src, a)
+	}
+}
+
+func BenchmarkMultXORsGF8_4KiB(b *testing.B)    { benchMultXORs(b, GF8, 4096) }
+func BenchmarkMultXORsGF8_128KiB(b *testing.B)  { benchMultXORs(b, GF8, 128<<10) }
+func BenchmarkMultXORsGF16_4KiB(b *testing.B)   { benchMultXORs(b, GF16, 4096) }
+func BenchmarkMultXORsGF16_128KiB(b *testing.B) { benchMultXORs(b, GF16, 128<<10) }
+func BenchmarkMultXORsGF32_4KiB(b *testing.B)   { benchMultXORs(b, GF32, 4096) }
+func BenchmarkMultXORsGF32_128KiB(b *testing.B) { benchMultXORs(b, GF32, 128<<10) }
+
+func BenchmarkXORRegion128KiB(b *testing.B) {
+	src := make([]byte, 128<<10)
+	dst := make([]byte, 128<<10)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		GF8.MultXORs(dst, src, 1)
+	}
+}
+
+func BenchmarkScalarMul(b *testing.B) {
+	for _, tf := range testFields {
+		tf := tf
+		b.Run(tf.name, func(b *testing.B) {
+			var acc uint32 = 1
+			for i := 0; i < b.N; i++ {
+				acc = tf.f.Mul(acc|1, 0x35&tf.mask|1)
+			}
+			sink = acc
+		})
+	}
+}
+
+var sink uint32

@@ -1,0 +1,136 @@
+package gf
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// GF(2^32) with polynomial x^32 + x^22 + x^2 + x + 1 (0x100400007).
+//
+// No log table fits in memory at w=32, so scalar multiplication is a
+// shift-and-add carry-less multiply followed by polynomial reduction,
+// and inversion uses Fermat's little theorem (a^(2^32 - 2)). Region
+// arithmetic builds four 256-entry split tables per constant, one per
+// byte lane of the 32-bit word.
+
+// poly32low is the reducing polynomial without the implicit x^32 term.
+const poly32low = 0x00400007
+
+// GF32 is the GF(2^32) field instance.
+var GF32 Field = field32{}
+
+type field32 struct{}
+
+func (field32) W() int         { return 32 }
+func (field32) WordBytes() int { return 4 }
+func (field32) Order() uint64  { return 1 << 32 }
+
+func (field32) Add(a, b uint32) uint32 { return a ^ b }
+
+// clmul32 is the 32x32 -> 64 bit carry-less product.
+func clmul32(a, b uint32) uint64 {
+	var r uint64
+	bb := uint64(b)
+	for a != 0 {
+		i := bits.TrailingZeros32(a)
+		r ^= bb << uint(i)
+		a &= a - 1
+	}
+	return r
+}
+
+// reduce64 folds a 64-bit carry-less product back into GF(2^32).
+func reduce64(p uint64) uint32 {
+	// Repeatedly replace x^32 with the low polynomial terms. Two passes
+	// suffice: the first pass's contribution has degree < 23 + 32.
+	for p>>32 != 0 {
+		hi := p >> 32
+		p = (p & 0xFFFFFFFF) ^ clmul32(uint32(hi), poly32low)
+	}
+	return uint32(p)
+}
+
+func (f field32) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return reduce64(clmul32(a, b))
+}
+
+func (f field32) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf: inverse of zero in GF(2^32)")
+	}
+	// a^(2^32 - 2) = a^(0xFFFFFFFE); addition-chain via square-and-multiply.
+	result := uint32(1)
+	base := a
+	e := uint64(0xFFFFFFFE)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+func (f field32) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf: division by zero in GF(2^32)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.Mul(a, f.Inv(b))
+}
+
+func (f field32) Exp(a uint32, n int) uint32 {
+	return expBySquaring(f, a, n)
+}
+
+// splitTables32 builds four per-constant lanes:
+// t[j][b] = a * (b << 8j). 1024 scalar multiplies per region call.
+func (f field32) splitTables32(a uint32) (t [4][256]uint32) {
+	for j := 0; j < 4; j++ {
+		shift := uint(8 * j)
+		for b := 1; b < 256; b++ {
+			t[j][b] = f.Mul(a, uint32(b)<<shift)
+		}
+	}
+	return t
+}
+
+func (f field32) MultXORs(dst, src []byte, a uint32) {
+	checkRegions(dst, src, 4)
+	switch a {
+	case 0:
+		return
+	case 1:
+		xorRegion(dst, src)
+		return
+	}
+	t := f.splitTables32(a)
+	for i := 0; i+4 <= len(dst); i += 4 {
+		w := binary.LittleEndian.Uint32(src[i:])
+		p := t[0][w&0xFF] ^ t[1][(w>>8)&0xFF] ^ t[2][(w>>16)&0xFF] ^ t[3][w>>24]
+		binary.LittleEndian.PutUint32(dst[i:], binary.LittleEndian.Uint32(dst[i:])^p)
+	}
+}
+
+func (f field32) MulRegion(dst, src []byte, a uint32) {
+	checkRegions(dst, src, 4)
+	switch a {
+	case 0:
+		zeroRegion(dst)
+		return
+	case 1:
+		copyRegion(dst, src)
+		return
+	}
+	t := f.splitTables32(a)
+	for i := 0; i+4 <= len(dst); i += 4 {
+		w := binary.LittleEndian.Uint32(src[i:])
+		binary.LittleEndian.PutUint32(dst[i:], t[0][w&0xFF]^t[1][(w>>8)&0xFF]^t[2][(w>>16)&0xFF]^t[3][w>>24])
+	}
+}

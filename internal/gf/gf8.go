@@ -1,0 +1,131 @@
+package gf
+
+// GF(2^8) with polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+//
+// Scalar arithmetic uses log/exp tables. Region arithmetic uses the full
+// 64 KiB product table: MultXORs slices out the 256-byte row for the
+// constant and does one lookup + XOR per byte. This is the table-driven
+// stand-in for the paper's SSE shuffle kernel (see DESIGN.md §2).
+
+const poly8 = 0x11D
+
+// GF8 is the GF(2^8) field instance.
+var GF8 Field = newField8()
+
+type field8 struct {
+	log  [256]uint16 // log[0] unused
+	exp  [512]uint8  // doubled to skip the mod (255) in Mul
+	prod []uint8     // 256*256 flat product table, prod[a<<8|b] = a*b
+}
+
+func newField8() *field8 {
+	f := &field8{prod: make([]uint8, 256*256)}
+	x := 1
+	for i := 0; i < 255; i++ {
+		f.exp[i] = uint8(x)
+		f.exp[i+255] = uint8(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly8
+		}
+	}
+	for a := 1; a < 256; a++ {
+		row := f.prod[a<<8 : a<<8+256]
+		la := f.log[a]
+		for b := 1; b < 256; b++ {
+			row[b] = f.exp[la+f.log[b]]
+		}
+	}
+	return f
+}
+
+func (f *field8) W() int         { return 8 }
+func (f *field8) WordBytes() int { return 1 }
+func (f *field8) Order() uint64  { return 256 }
+
+func (f *field8) Add(a, b uint32) uint32 { return a ^ b }
+
+func (f *field8) Mul(a, b uint32) uint32 {
+	return uint32(f.prod[(a&0xFF)<<8|(b&0xFF)])
+}
+
+func (f *field8) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf: inverse of zero in GF(2^8)")
+	}
+	return uint32(f.exp[255-f.log[a&0xFF]])
+}
+
+func (f *field8) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return uint32(f.exp[f.log[a&0xFF]+255-f.log[b&0xFF]])
+}
+
+func (f *field8) Exp(a uint32, n int) uint32 {
+	return expBySquaring(f, a, n)
+}
+
+func (f *field8) MultXORs(dst, src []byte, a uint32) {
+	checkRegions(dst, src, 1)
+	switch a & 0xFF {
+	case 0:
+		return
+	case 1:
+		xorRegion(dst, src)
+		return
+	}
+	row := f.prod[(a&0xFF)<<8 : (a&0xFF)<<8+256]
+	n := len(dst) &^ 3
+	for i := 0; i < n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		s := src[i : i+4 : i+4]
+		d[0] ^= row[s[0]]
+		d[1] ^= row[s[1]]
+		d[2] ^= row[s[2]]
+		d[3] ^= row[s[3]]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+func (f *field8) MulRegion(dst, src []byte, a uint32) {
+	checkRegions(dst, src, 1)
+	switch a & 0xFF {
+	case 0:
+		zeroRegion(dst)
+		return
+	case 1:
+		copyRegion(dst, src)
+		return
+	}
+	row := f.prod[(a&0xFF)<<8 : (a&0xFF)<<8+256]
+	for i := range dst {
+		dst[i] = row[src[i]]
+	}
+}
+
+// expBySquaring raises a to the n-th power in any Field. Shared by all
+// word sizes; n < 0 is rejected because the codes only use nonnegative
+// column exponents.
+func expBySquaring(f Field, a uint32, n int) uint32 {
+	if n < 0 {
+		panic("gf: negative exponent")
+	}
+	result := uint32(1)
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		n >>= 1
+	}
+	return result
+}

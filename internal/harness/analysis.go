@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ppm/internal/codes"
+	"ppm/internal/cost"
+)
+
+// runFig4 regenerates Figure 4: for each (m, s) panel, the exact cost
+// ratios C2/C1, C3/C1 and C4/C1 as n sweeps 6..24 (r = 16, z = 1).
+func runFig4(w io.Writer, cfg Config) error {
+	tw := newTabWriter(w)
+	fprintf(tw, "m\ts\tn\tC2/C1\tC3/C1\tC4/C1\n")
+	for _, ms := range gridMS(cfg) {
+		m, s := ms[0], ms[1]
+		for _, n := range gridN(cfg) {
+			if m >= n {
+				continue
+			}
+			pts, err := cost.SweepN(n, n, 1, 16, m, s, 1, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n", m, s, p.N, p.R2, p.R3, p.R4)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// runFig5 regenerates Figure 5: C4/C1 for z = 1..3 (s = 3, r = 16),
+// panels m = 1..3.
+func runFig5(w io.Writer, cfg Config) error {
+	tw := newTabWriter(w)
+	fprintf(tw, "m\tz\tn\tC4/C1\n")
+	for m := 1; m <= 3; m++ {
+		for z := 1; z <= 3; z++ {
+			for _, n := range gridN(cfg) {
+				if m >= n {
+					continue
+				}
+				pts, err := cost.SweepN(n, n, 1, 16, m, 3, z, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				for _, p := range pts {
+					fprintf(tw, "%d\t%d\t%d\t%.4f\n", m, z, p.N, p.R4)
+				}
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// runFig6 regenerates Figure 6: C4/C1 as r sweeps 4..24 (m = 2, s = 3,
+// z = 1), one row per (r, n).
+func runFig6(w io.Writer, cfg Config) error {
+	rs := []int{4, 8, 12, 16, 20, 24}
+	if cfg.Quick {
+		rs = []int{4, 12, 24}
+	}
+	tw := newTabWriter(w)
+	fprintf(tw, "r\tn\tC4/C1\n")
+	for _, r := range rs {
+		for _, n := range gridN(cfg) {
+			pts, err := cost.SweepN(n, n, 1, r, 2, 3, 1, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				fprintf(tw, "%d\t%d\t%.4f\n", r, p.N, p.R4)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// AnalyticSummary prints the §III-B aggregate the paper quotes (average
+// C4/C1 = 85.78%, range 47.97%..98.06%) from the closed forms.
+func AnalyticSummary(w io.Writer) {
+	sum, count := 0.0, 0
+	lo, hi := 2.0, 0.0
+	for m := 1; m <= 3; m++ {
+		for s := 1; s <= 3; s++ {
+			for n := 6; n <= 24; n++ {
+				c := cost.ClosedForm(n, 16, m, s, 1)
+				_, _, r4 := c.Ratio4()
+				sum += r4
+				count++
+				if r4 < lo {
+					lo = r4
+				}
+				if r4 > hi {
+					hi = r4
+				}
+			}
+		}
+	}
+	fprintf(w, "closed-form C4/C1 over the Figure 4 grid: avg %.2f%% (paper 85.78%%), min %.2f%% (paper 47.97%%), max %.2f%% (paper 98.06%%)\n",
+		100*sum/float64(count), 100*lo, 100*hi)
+}
+
+// newSD wraps codes.NewSD with a friendlier error for sweep loops.
+func newSD(n, r, m, s int) (*codes.SD, error) {
+	sd, err := codes.NewSD(n, r, m, s)
+	if err != nil {
+		return nil, fmt.Errorf("harness: SD n=%d r=%d m=%d s=%d: %w", n, r, m, s, err)
+	}
+	return sd, nil
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"io"
+	"math"
+)
+
+// runHeadline reproduces the paper's aggregate claims over the Figure 8
+// grid:
+//   - "PPM improves the decoding speed by 61.09% on average (8.22% to
+//     210.81%)" at T = 4;
+//   - "even using two threads ... 46.29% on average (8.45% to 178.38%)".
+func runHeadline(w io.Writer, cfg Config) error {
+	for _, t := range []int{4, 2} {
+		tcfg := cfg
+		tcfg.Threads = t
+		min, max, sum, count := math.Inf(1), math.Inf(-1), 0.0, 0
+		pmin, pmax, psum := math.Inf(1), math.Inf(-1), 0.0
+		for _, ms := range gridMS(cfg) {
+			m, s := ms[0], ms[1]
+			for _, n := range gridN(cfg) {
+				if m >= n {
+					continue
+				}
+				sd, err := newSD(n, 16, m, s)
+				if err != nil {
+					return err
+				}
+				sc, err := sdWorst(sd, 1, tcfg)
+				if err != nil {
+					return err
+				}
+				trad, err := measureDecode(sd, sc, kindTraditional, tcfg)
+				if err != nil {
+					return err
+				}
+				ppm, err := measureDecode(sd, sc, kindPPM, tcfg)
+				if err != nil {
+					return err
+				}
+				imp := improvement(trad, ppm)
+				sum += imp
+				count++
+				min = math.Min(min, imp)
+				max = math.Max(max, imp)
+				pred, err := predictedImprovement(sd, sc)
+				if err != nil {
+					return err
+				}
+				psum += pred
+				pmin = math.Min(pmin, pred)
+				pmax = math.Max(pmax, pred)
+			}
+		}
+		fprintf(w, "T=%d: measured improvement avg %.2f%% range [%.2f%%, %.2f%%] over %d configs\n",
+			t, 100*sum/float64(count), 100*min, 100*max, count)
+		fprintf(w, "      serial cost-model floor (C1/C4-1) avg %.2f%% range [%.2f%%, %.2f%%]\n",
+			100*psum/float64(count), 100*pmin, 100*pmax)
+	}
+	fprintf(w, "paper: T=4 avg 61.09%% range [8.22%%, 210.81%%]; T=2 avg 46.29%% range [8.45%%, 178.38%%]\n")
+	AnalyticSummary(w)
+	return nil
+}

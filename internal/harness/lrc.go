@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+
+	"ppm/internal/codes"
+)
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// lrcSweep is the Figure 11 storage-cost sweep: (k, l, g) tuples with
+// l = 4 local groups and g = 2 global parities, chosen so n/k lands on
+// the paper's 1.1..1.7 range (see EXPERIMENTS.md for the mapping).
+var lrcSweep = []struct{ k, l, g int }{
+	{60, 4, 2}, // cost 1.10
+	{30, 4, 2}, // cost 1.20
+	{20, 4, 2}, // cost 1.30
+	{12, 4, 2}, // cost 1.50
+	{9, 4, 2},  // cost 1.67
+}
+
+// runFig11 regenerates Figure 11: PPM improvement for LRC decodes as
+// the storage cost varies, for the fixed-stripe-size panel (every code
+// shares cfg.StripeBytes) and the fixed-strip-size panel (every block
+// has the same size, so bigger codes process bigger stripes).
+func runFig11(w io.Writer, cfg Config) error {
+	tw := newTabWriter(w)
+	fprintf(tw, "panel\tk\tl\tg\tstorage_cost\timprovement\n")
+
+	for _, cse := range lrcSweep {
+		lrc, err := codes.NewLRC(cse.k, cse.l, cse.g)
+		if err != nil {
+			return err
+		}
+		sc, err := lrc.WorstCaseScenario(newRNG(cfg.Seed + int64(cse.k)))
+		if err != nil {
+			return err
+		}
+
+		// Panel 1: fixed stripe size.
+		trad, err := measureDecode(lrc, sc, kindTraditional, cfg)
+		if err != nil {
+			return err
+		}
+		ppm, err := measureDecode(lrc, sc, kindPPM, cfg)
+		if err != nil {
+			return err
+		}
+		fprintf(tw, "stripe\t%d\t%d\t%d\t%.2f\t%.4f\n",
+			cse.k, cse.l, cse.g, lrc.StorageCost(), improvement(trad, ppm))
+
+		// Panel 2: fixed strip (block) size. The paper fixes 64 MB
+		// blocks; we scale so the largest code stays within the config
+		// budget: block = StripeBytes / max_n.
+		block := cfg.StripeBytes / (lrcSweep[0].k + lrcSweep[0].l + lrcSweep[0].g)
+		scfg := cfg
+		scfg.StripeBytes = block * (cse.k + cse.l + cse.g)
+		trad, err = measureDecode(lrc, sc, kindTraditional, scfg)
+		if err != nil {
+			return err
+		}
+		ppm, err = measureDecode(lrc, sc, kindPPM, scfg)
+		if err != nil {
+			return err
+		}
+		fprintf(tw, "strip\t%d\t%d\t%d\t%.2f\t%.4f\n",
+			cse.k, cse.l, cse.g, lrc.StorageCost(), improvement(trad, ppm))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// CompiledMatrix is a matrix pre-lowered into per-coefficient
+// multipliers: applying it skips both the zero-coefficient scan and the
+// per-call lookup-table construction that Field.MultXORs pays at
+// w = 16/32. Plans compile their sub-matrices once at build time, so
+// repeated decodes (the whole-disk-failure case: every stripe fails the
+// same way) run at table-free speed.
+//
+// A CompiledMatrix is immutable after Compile and safe for concurrent
+// use — the PPM executor applies different compiled groups from
+// different worker goroutines.
+type CompiledMatrix struct {
+	rows, cols int
+	entries    [][]compiledEntry
+	nnz        int
+}
+
+type compiledEntry struct {
+	col  int
+	mult gf.Multiplier
+}
+
+// Compile lowers m over the field. Multipliers are shared between
+// equal coefficients (SD's all-ones disk-parity rows compile to one
+// XOR multiplier).
+func Compile(f gf.Field, m *matrix.Matrix) *CompiledMatrix {
+	cm := &CompiledMatrix{
+		rows:    m.Rows(),
+		cols:    m.Cols(),
+		entries: make([][]compiledEntry, m.Rows()),
+	}
+	cache := make(map[uint32]gf.Multiplier)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j, a := range row {
+			if a == 0 {
+				continue
+			}
+			mult, ok := cache[a]
+			if !ok {
+				mult = gf.MultiplierFor(f, a)
+				cache[a] = mult
+			}
+			cm.entries[i] = append(cm.entries[i], compiledEntry{col: j, mult: mult})
+			cm.nnz++
+		}
+	}
+	return cm
+}
+
+// Rows returns the compiled row count.
+func (cm *CompiledMatrix) Rows() int { return cm.rows }
+
+// Cols returns the compiled column count.
+func (cm *CompiledMatrix) Cols() int { return cm.cols }
+
+// NNZ returns the nonzero count, i.e. the mult_XORs cost of one Apply.
+func (cm *CompiledMatrix) NNZ() int { return cm.nnz }
+
+// Apply computes out[i] ^= Σ_j M[i][j] * in[j], like kernel.Apply but
+// on the pre-lowered form.
+func (cm *CompiledMatrix) Apply(in, out [][]byte, stats *Stats) {
+	if cm.rows != len(out) || cm.cols != len(in) {
+		panic(fmt.Sprintf("kernel: compiled %dx%d against %d inputs, %d outputs", cm.rows, cm.cols, len(in), len(out)))
+	}
+	var ops int64
+	for i, row := range cm.entries {
+		dst := out[i]
+		for _, e := range row {
+			e.mult.MultXOR(dst, in[e.col])
+			ops++
+		}
+	}
+	stats.AddMultXORs(ops)
+}
+
+// CompiledProduct mirrors Product for compiled matrices: out =
+// F^-1 * S * BS under the given sequence, where g is the compiled
+// MatrixFirst product and finv/s the compiled Normal-sequence pair.
+// Only the matrices the sequence needs may be non-nil.
+func CompiledProduct(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
+	switch seq {
+	case MatrixFirst:
+		Zero(out)
+		g.Apply(in, out, stats)
+	case Normal:
+		if scratch == nil {
+			scratch = AllocRegions(len(out), regionLen(out))
+		}
+		Zero(scratch)
+		s.Apply(in, scratch, stats)
+		Zero(out)
+		finv.Apply(scratch, out, stats)
+	default:
+		panic(fmt.Sprintf("kernel: unknown sequence %d", int(seq)))
+	}
+}
+
+// ChunkRanges splits a region byte range [0, size) into at most parts
+// word-aligned, non-empty half-open ranges — the byte-range splitting
+// used by block-level parallel decoding and by the hybrid executor's
+// chunked serial phases.
+func ChunkRanges(size, parts, wordBytes int) [][2]int {
+	words := size / wordBytes
+	if parts > words {
+		parts = words
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	var ranges [][2]int
+	start := 0
+	for i := 0; i < parts; i++ {
+		w := words / parts
+		if i < words%parts {
+			w++
+		}
+		end := start + w*wordBytes
+		if end > start {
+			ranges = append(ranges, [2]int{start, end})
+		}
+		start = end
+	}
+	return ranges
+}
+
+// SliceRegions returns the [lo, hi) sub-slices of each region.
+func SliceRegions(regions [][]byte, lo, hi int) [][]byte {
+	out := make([][]byte, len(regions))
+	for i, r := range regions {
+		out[i] = r[lo:hi]
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package kernel implements the matrix-times-block-regions engine shared
+// by the traditional decoder and PPM: computing products like
+// F^-1 * S * BS where the vector entries are whole sector buffers.
+//
+// Every nonzero matrix coefficient costs exactly one mult_XORs() region
+// operation, the paper's unit of computational cost. The kernel counts
+// those operations (atomically, because PPM runs several sub-decodes
+// concurrently) so the measured cost of any decode can be compared
+// against the analytic C1..C4 formulas — a property the test suite
+// exploits heavily.
+package kernel
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// Stats accumulates operation counts across one encode/decode. Safe for
+// concurrent use.
+type Stats struct {
+	multXORs atomic.Int64
+}
+
+// AddMultXORs records n mult_XORs operations.
+func (s *Stats) AddMultXORs(n int64) {
+	if s != nil {
+		s.multXORs.Add(n)
+	}
+}
+
+// MultXORs returns the number of mult_XORs performed so far.
+func (s *Stats) MultXORs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.multXORs.Load()
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	if s != nil {
+		s.multXORs.Store(0)
+	}
+}
+
+// Sequence selects the calculation order for F^-1 * S * BS (§II-B).
+type Sequence int
+
+const (
+	// Normal multiplies S by the surviving blocks first, then F^-1 by
+	// the intermediate blocks: cost u(F^-1) + u(S). This is the order
+	// the open-source SD decoder uses.
+	Normal Sequence = iota
+	// MatrixFirst multiplies F^-1 * S at matrix level first (scalar
+	// cost, ignored per the paper) and then applies the product to the
+	// surviving blocks: cost u(F^-1 * S). This is the generator-matrix
+	// method.
+	MatrixFirst
+)
+
+// String names the sequence the way the paper does.
+func (s Sequence) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case MatrixFirst:
+		return "matrix-first"
+	default:
+		return fmt.Sprintf("Sequence(%d)", int(s))
+	}
+}
+
+// Apply computes out[i] ^= Σ_j M[i][j] * in[j] over block regions.
+// Callers that need out = M * in must clear out first (Zero). One
+// region operation is issued — and counted — per nonzero coefficient.
+//
+// Lookup tables are built once per distinct coefficient per call (the
+// same amortisation the compiled path gets per plan), so the
+// traditional baseline and PPM share identical region-op throughput —
+// the paper's comparisons assume a common arithmetic back end.
+func Apply(f gf.Field, m *matrix.Matrix, in, out [][]byte, stats *Stats) {
+	if m.Rows() != len(out) || m.Cols() != len(in) {
+		panic(fmt.Sprintf("kernel: matrix %s against %d inputs, %d outputs", m.Dims(), len(in), len(out)))
+	}
+	cache := make(map[uint32]gf.Multiplier)
+	var ops int64
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		dst := out[i]
+		for j, a := range row {
+			if a == 0 {
+				continue
+			}
+			mult, ok := cache[a]
+			if !ok {
+				mult = gf.MultiplierFor(f, a)
+				cache[a] = mult
+			}
+			mult.MultXOR(dst, in[j])
+			ops++
+		}
+	}
+	stats.AddMultXORs(ops)
+}
+
+// Zero clears the given regions.
+func Zero(regions [][]byte) {
+	for _, r := range regions {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+}
+
+// Product computes out = F^-1 * S * BS into the out regions using the
+// requested sequence, where finv is f x f, s is f x q, in holds the q
+// surviving regions and out the f faulty regions. The scratch slice, if
+// non-nil, must hold f regions of the same size and is used by the
+// Normal sequence to hold the intermediate S * BS; pass nil to allocate.
+func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
+	if finv.Rows() != finv.Cols() || finv.Cols() != s.Rows() {
+		panic(fmt.Sprintf("kernel: shape mismatch F^-1 %s vs S %s", finv.Dims(), s.Dims()))
+	}
+	switch seq {
+	case MatrixFirst:
+		g := finv.Mul(s) // scalar-level product; cost ignored per §II-B
+		Zero(out)
+		Apply(f, g, in, out, stats)
+	case Normal:
+		if scratch == nil {
+			scratch = AllocRegions(len(out), regionLen(out))
+		}
+		Zero(scratch)
+		Apply(f, s, in, scratch, stats)
+		Zero(out)
+		Apply(f, finv, scratch, out, stats)
+	default:
+		panic(fmt.Sprintf("kernel: unknown sequence %d", int(seq)))
+	}
+}
+
+// AllocRegions allocates count regions of size bytes backed by one
+// contiguous buffer.
+func AllocRegions(count, size int) [][]byte {
+	backing := make([]byte, count*size)
+	regions := make([][]byte, count)
+	for i := range regions {
+		regions[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	return regions
+}
+
+func regionLen(regions [][]byte) int {
+	if len(regions) == 0 {
+		return 0
+	}
+	return len(regions[0])
+}

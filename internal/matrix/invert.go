@@ -1,0 +1,115 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned by Invert when the matrix has no inverse.
+// For a decoder this means the failure pattern is not recoverable by
+// this code instance (or the coding coefficients are unsuitable).
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Invert returns m^-1 using Gauss–Jordan elimination with row pivoting,
+// or ErrSingular. m is not modified. This implements Step 3 of the
+// traditional decoding process and Step 3.2 of PPM.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(m.field, n)
+	f := m.field
+
+	for col := 0; col < n; col++ {
+		// Pivot: first nonzero at or below the diagonal.
+		pivot := -1
+		for i := col; i < n; i++ {
+			if a.data[i*n+col] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		a.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+
+		if pv := a.data[col*n+col]; pv != 1 {
+			s := f.Inv(pv)
+			a.scaleRow(col, s)
+			inv.scaleRow(col, s)
+		}
+		for i := 0; i < n; i++ {
+			if i == col {
+				continue
+			}
+			if c := a.data[i*n+col]; c != 0 {
+				a.addScaledRow(i, col, c)
+				inv.addScaledRow(i, col, c)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Invertible reports whether m is square and nonsingular.
+func (m *Matrix) Invertible() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	return m.Rank() == m.rows
+}
+
+// PivotRows returns indices of rows of m forming a square invertible
+// basis: exactly m.Cols() rows whose restriction to all columns has full
+// rank. It is used when a decode is over-determined (fewer erasures than
+// parity-check rows, e.g. LRC degraded reads): the decoder keeps only
+// the selected equations so F becomes square. Rows are chosen greedily
+// in order, so equations earlier in H (for LRC: the cheap local rows)
+// are preferred over later ones (the dense global rows) — which is also
+// what minimises u(S) for the surviving part.
+func (m *Matrix) PivotRows() ([]int, error) {
+	want := m.cols
+	if m.rows < want {
+		return nil, ErrSingular
+	}
+	f := m.field
+	var chosen []int
+	// reduced holds the chosen rows after forward elimination, and
+	// pivotCol[i] the leading column of reduced row i.
+	var reduced [][]uint32
+	var pivotCol []int
+	for r := 0; r < m.rows && len(chosen) < want; r++ {
+		row := append([]uint32(nil), m.Row(r)...)
+		for i, pc := range pivotCol {
+			if row[pc] != 0 {
+				c := f.Div(row[pc], reduced[i][pc])
+				for k := range row {
+					if reduced[i][k] != 0 {
+						row[k] ^= f.Mul(c, reduced[i][k])
+					}
+				}
+			}
+		}
+		lead := -1
+		for k, v := range row {
+			if v != 0 {
+				lead = k
+				break
+			}
+		}
+		if lead < 0 {
+			continue // linearly dependent on the chosen rows
+		}
+		chosen = append(chosen, r)
+		reduced = append(reduced, row)
+		pivotCol = append(pivotCol, lead)
+	}
+	if len(chosen) != want {
+		return nil, ErrSingular
+	}
+	return chosen, nil
+}

@@ -1,0 +1,175 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+)
+
+// randomMatrix fills an r x c matrix with uniform entries (zero allowed).
+func randomMatrix(rng *rand.Rand, f gf.Field, r, c int) *Matrix {
+	m := New(f, r, c)
+	mask := uint32((f.Order() - 1) & 0xFFFFFFFF)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.Uint32()&mask)
+		}
+	}
+	return m
+}
+
+// randomInvertible generates a random nonsingular n x n matrix by
+// rejection sampling (overwhelmingly likely to succeed quickly).
+func randomInvertible(rng *rand.Rand, f gf.Field, n int) *Matrix {
+	for {
+		m := randomMatrix(rng, f, n, n)
+		if m.Invertible() {
+			return m
+		}
+	}
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(gf.GF8, 3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	if m.Field() != gf.GF8 {
+		t.Fatal("wrong field")
+	}
+	if !m.IsZero() {
+		t.Fatal("new matrix not zero")
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Fatalf("At(2,3) = %d, want 7", m.At(2, 3))
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestNewNegativeDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(gf.GF8, -1, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(gf.GF8, 2, 2)
+	for _, ij := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		ij := ij
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", ij[0], ij[1])
+				}
+			}()
+			m.At(ij[0], ij[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows(gf.GF8, [][]uint32{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %s", m.Dims())
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %d", m.At(1, 2))
+	}
+	empty := FromRows(gf.GF8, nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Fatal("FromRows(nil) not empty")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows(gf.GF8, [][]uint32{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(gf.GF16, 5)
+	if !id.IsIdentity() {
+		t.Fatal("Identity(5) fails IsIdentity")
+	}
+	if id.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", id.NNZ())
+	}
+	if New(gf.GF16, 2, 3).IsIdentity() {
+		t.Fatal("non-square matrix passes IsIdentity")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows(gf.GF8, [][]uint32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromRows(gf.GF8, [][]uint32{{1, 2}})
+	b := FromRows(gf.GF8, [][]uint32{{1, 2}})
+	c := FromRows(gf.GF8, [][]uint32{{1, 3}})
+	d := FromRows(gf.GF8, [][]uint32{{1}, {2}})
+	if !a.Equal(b) {
+		t.Error("equal matrices compare unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal matrices compare equal")
+	}
+}
+
+func TestColumnIsZero(t *testing.T) {
+	m := FromRows(gf.GF8, [][]uint32{
+		{0, 1, 0},
+		{0, 2, 0},
+	})
+	if !m.ColumnIsZero(0) || m.ColumnIsZero(1) || !m.ColumnIsZero(2) {
+		t.Fatal("ColumnIsZero wrong")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	m := FromRows(gf.GF8, [][]uint32{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if len(r) != 3 || r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+}
+
+func TestNNZRandomAgainstCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMatrix(rng, gf.GF8, 1+rng.Intn(10), 1+rng.Intn(10))
+		count := 0
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.At(i, j) != 0 {
+					count++
+				}
+			}
+		}
+		if m.NNZ() != count {
+			t.Fatalf("NNZ = %d, count = %d", m.NNZ(), count)
+		}
+	}
+}

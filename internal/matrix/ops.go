@@ -1,0 +1,172 @@
+package matrix
+
+import "fmt"
+
+// Mul returns the matrix product m * o. The scalar cost of matrix-matrix
+// products is negligible next to matrix-times-block-region products
+// (paper §II-B footnote 2), so no cost accounting happens here.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	if m.field != o.field {
+		panic("matrix: mixed fields in Mul")
+	}
+	f := m.field
+	p := New(f, m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		pi := p.data[i*o.cols : (i+1)*o.cols]
+		for k, a := range mi {
+			if a == 0 {
+				continue
+			}
+			ok := o.data[k*o.cols : (k+1)*o.cols]
+			if a == 1 {
+				for j, b := range ok {
+					pi[j] ^= b
+				}
+				continue
+			}
+			for j, b := range ok {
+				if b != 0 {
+					pi[j] ^= f.Mul(a, b)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Add returns the entrywise sum (XOR) m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(fmt.Sprintf("matrix: cannot add %dx%d and %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	s := New(m.field, m.rows, m.cols)
+	for i, v := range m.data {
+		s.data[i] = v ^ o.data[i]
+	}
+	return s
+}
+
+// MulVec multiplies m by a column vector of field scalars (used in tests
+// to check H*B = 0 relations on scalar words).
+func (m *Matrix) MulVec(v []uint32) []uint32 {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: vector length %d, want %d", len(v), m.cols))
+	}
+	f := m.field
+	out := make([]uint32, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var acc uint32
+		for j, a := range row {
+			if a != 0 && v[j] != 0 {
+				acc ^= f.Mul(a, v[j])
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.field, m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// IsIdentity reports whether m is a square identity matrix.
+func (m *Matrix) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			want := uint32(0)
+			if i == j {
+				want = 1
+			}
+			if m.data[i*m.cols+j] != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rank returns the rank of m, computed on a scratch copy by Gaussian
+// elimination.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	f := a.field
+	rank := 0
+	for col := 0; col < a.cols && rank < a.rows; col++ {
+		// Find a pivot at or below `rank` in this column.
+		pivot := -1
+		for i := rank; i < a.rows; i++ {
+			if a.data[i*a.cols+col] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a.swapRows(rank, pivot)
+		pv := a.data[rank*a.cols+col]
+		inv := f.Inv(pv)
+		a.scaleRow(rank, inv)
+		for i := rank + 1; i < a.rows; i++ {
+			if c := a.data[i*a.cols+col]; c != 0 {
+				a.addScaledRow(i, rank, c)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// scaleRow multiplies row i by the scalar a.
+func (m *Matrix) scaleRow(i int, a uint32) {
+	row := m.data[i*m.cols : (i+1)*m.cols]
+	for k, v := range row {
+		if v != 0 {
+			row[k] = m.field.Mul(v, a)
+		}
+	}
+}
+
+// addScaledRow does row_i ^= a * row_j.
+func (m *Matrix) addScaledRow(i, j int, a uint32) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	if a == 1 {
+		for k, v := range rj {
+			ri[k] ^= v
+		}
+		return
+	}
+	for k, v := range rj {
+		if v != 0 {
+			ri[k] ^= m.field.Mul(a, v)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+)
+
+var opsFields = []struct {
+	name string
+	f    gf.Field
+}{
+	{"GF8", gf.GF8},
+	{"GF16", gf.GF16},
+	{"GF32", gf.GF32},
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, tf := range opsFields {
+		tf := tf
+		t.Run(tf.name, func(t *testing.T) {
+			m := randomMatrix(rng, tf.f, 4, 6)
+			left := Identity(tf.f, 4).Mul(m)
+			right := m.Mul(Identity(tf.f, 6))
+			if !left.Equal(m) || !right.Equal(m) {
+				t.Fatal("identity multiplication changed the matrix")
+			}
+		})
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, tf := range opsFields {
+		tf := tf
+		t.Run(tf.name, func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				a := randomMatrix(rng, tf.f, 3, 4)
+				b := randomMatrix(rng, tf.f, 4, 5)
+				c := randomMatrix(rng, tf.f, 5, 2)
+				if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+					t.Fatal("matrix multiplication not associative")
+				}
+			}
+		})
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(rng, gf.GF8, 3, 4)
+		b := randomMatrix(rng, gf.GF8, 4, 5)
+		c := randomMatrix(rng, gf.GF8, 4, 5)
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("A(B+C) != AB + AC")
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Over GF(2^8): [1 2; 3 4] * [5; 6] with XOR addition.
+	a := FromRows(gf.GF8, [][]uint32{{1, 2}, {3, 4}})
+	b := FromRows(gf.GF8, [][]uint32{{5}, {6}})
+	got := a.Mul(b)
+	f := gf.GF8
+	want := FromRows(gf.GF8, [][]uint32{
+		{f.Mul(1, 5) ^ f.Mul(2, 6)},
+		{f.Mul(3, 5) ^ f.Mul(4, 6)},
+	})
+	if !got.Equal(want) {
+		t.Fatalf("got\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	New(gf.GF8, 2, 3).Mul(New(gf.GF8, 2, 3))
+}
+
+func TestMulMixedFieldsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed fields did not panic")
+		}
+	}()
+	New(gf.GF8, 2, 3).Mul(New(gf.GF16, 3, 2))
+}
+
+func TestAddSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := randomMatrix(rng, gf.GF16, 5, 5)
+	if !m.Add(m).IsZero() {
+		t.Fatal("M + M != 0 in characteristic 2")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows(gf.GF8, [][]uint32{{1, 1, 0}, {0, 2, 3}})
+	v := []uint32{7, 9, 11}
+	got := a.MulVec(v)
+	f := gf.GF8
+	want := []uint32{7 ^ 9, f.Mul(2, 9) ^ f.Mul(3, 11)}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("MulVec = %v, want %v", got, want)
+	}
+}
+
+func TestMulVecAgreesWithMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	m := randomMatrix(rng, gf.GF8, 4, 6)
+	v := make([]uint32, 6)
+	for i := range v {
+		v[i] = uint32(rng.Intn(256))
+	}
+	col := New(gf.GF8, 6, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	prod := m.Mul(col)
+	vec := m.MulVec(v)
+	for i := range vec {
+		if prod.At(i, 0) != vec[i] {
+			t.Fatalf("row %d: Mul=%d MulVec=%d", i, prod.At(i, 0), vec[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	m := randomMatrix(rng, gf.GF8, 3, 5)
+	tr := m.Transpose()
+	if tr.Rows() != 5 || tr.Cols() != 3 {
+		t.Fatalf("transpose dims %s", tr.Dims())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("transpose entry mismatch")
+			}
+		}
+	}
+	if !tr.Transpose().Equal(m) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(gf.GF8, 4).Rank(); got != 4 {
+		t.Fatalf("rank(I4) = %d", got)
+	}
+	if got := New(gf.GF8, 3, 5).Rank(); got != 0 {
+		t.Fatalf("rank(0) = %d", got)
+	}
+	// Duplicate rows reduce rank.
+	m := FromRows(gf.GF8, [][]uint32{
+		{1, 2, 3},
+		{1, 2, 3},
+		{0, 1, 0},
+	})
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("rank = %d, want 2", got)
+	}
+}
+
+func TestRankOfProductBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(rng, gf.GF8, 4, 3)
+		b := randomMatrix(rng, gf.GF8, 3, 5)
+		p := a.Mul(b)
+		if p.Rank() > 3 {
+			t.Fatalf("rank(AB) = %d > 3", p.Rank())
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromRows(gf.GF8, [][]uint32{{1, 22}, {3, 4}})
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	if New(gf.GF8, 0, 3).String() != "[0x3]" {
+		t.Fatalf("empty-matrix rendering = %q", New(gf.GF8, 0, 3).String())
+	}
+}

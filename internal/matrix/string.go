@@ -1,0 +1,35 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the matrix in aligned decimal, the way the paper's
+// figures print H, F and S. Large matrices are rendered in full; the
+// inspect tool truncates for display instead.
+func (m *Matrix) String() string {
+	if m.rows == 0 || m.cols == 0 {
+		return fmt.Sprintf("[%dx%d]", m.rows, m.cols)
+	}
+	width := 1
+	for _, v := range m.data {
+		if w := len(fmt.Sprintf("%d", v)); w > width {
+			width = w
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("| ")
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "%*d ", width, m.data[i*m.cols+j])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Dims returns a compact "RxC" description.
+func (m *Matrix) Dims() string {
+	return fmt.Sprintf("%dx%d", m.rows, m.cols)
+}

@@ -1,0 +1,153 @@
+package stripe
+
+import (
+	"bytes"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/gf"
+)
+
+func TestNewGeometry(t *testing.T) {
+	st, err := New(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N() != 4 || st.R() != 4 || st.SectorSize() != 64 {
+		t.Fatal("geometry wrong")
+	}
+	if st.TotalSectors() != 16 || st.TotalBytes() != 16*64 {
+		t.Fatal("totals wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ n, r, size int }{
+		{0, 4, 64}, {4, 0, 64}, {4, 4, 0}, {4, 4, 3}, {4, 4, 62},
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.r, c.size); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted", c.n, c.r, c.size)
+		}
+	}
+}
+
+func TestSectorAddressing(t *testing.T) {
+	st, _ := New(4, 3, 8)
+	st.SectorAt(2, 1)[0] = 0xAB
+	// Global index = row*n + disk = 2*4 + 1 = 9.
+	if st.Sector(9)[0] != 0xAB {
+		t.Fatal("SectorAt and Sector disagree")
+	}
+	secs := st.Sectors([]int{9, 0})
+	if secs[0][0] != 0xAB || len(secs) != 2 {
+		t.Fatal("Sectors view wrong")
+	}
+}
+
+func TestSectorOutOfRangePanics(t *testing.T) {
+	st, _ := New(2, 2, 8)
+	for _, f := range []func(){
+		func() { st.Sector(4) },
+		func() { st.Sector(-1) },
+		func() { st.SectorAt(2, 0) },
+		func() { st.SectorAt(0, 2) },
+	} {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, _ := New(3, 3, 16)
+	b, _ := New(3, 3, 16)
+	a.FillRandom(7)
+	b.FillRandom(7)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different stripes")
+	}
+	b.FillRandom(8)
+	if a.Equal(b) {
+		t.Fatal("different seeds produced identical stripes")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a, _ := New(3, 2, 8)
+	a.FillRandom(1)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Sector(0)[0] ^= 0xFF
+	if a.Equal(c) {
+		t.Fatal("clone shares storage")
+	}
+	d, _ := New(3, 2, 12)
+	if a.Equal(d) {
+		t.Fatal("different geometry equal")
+	}
+}
+
+func TestEraseAndScribble(t *testing.T) {
+	st, _ := New(2, 2, 8)
+	st.FillRandom(3)
+	orig := st.Clone()
+
+	st.Erase([]int{1, 2})
+	if !bytes.Equal(st.Sector(1), make([]byte, 8)) {
+		t.Fatal("Erase did not zero")
+	}
+	if !bytes.Equal(st.Sector(0), orig.Sector(0)) {
+		t.Fatal("Erase touched other sectors")
+	}
+
+	st.Scribble(9, []int{0})
+	if bytes.Equal(st.Sector(0), orig.Sector(0)) {
+		t.Fatal("Scribble left sector intact")
+	}
+}
+
+func TestFillDataRandom(t *testing.T) {
+	st, _ := New(2, 2, 8)
+	st.FillRandom(5)
+	st.FillDataRandom(6, []int{0, 1})
+	if bytes.Equal(st.Sector(0), make([]byte, 8)) {
+		t.Fatal("data sector not filled")
+	}
+	if !bytes.Equal(st.Sector(3), make([]byte, 8)) {
+		t.Fatal("non-data sector not zeroed")
+	}
+}
+
+func TestForCode(t *testing.T) {
+	sd, err := codes.NewSDWithCoefficients(4, 4, 1, 1, gf.GF8, []uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ForCode(sd, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N() != 4 || st.R() != 4 {
+		t.Fatal("geometry mismatch")
+	}
+	if st.SectorSize() != 1024 {
+		t.Fatalf("sector size = %d, want 1024", st.SectorSize())
+	}
+	// Tiny stripe budgets still get minimum aligned sectors.
+	st, err = ForCode(sd, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SectorSize() != 4 {
+		t.Fatalf("minimum sector size = %d, want 4", st.SectorSize())
+	}
+}

@@ -1,0 +1,172 @@
+package ppm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSymmetricCodesDecodeUnderPPM: PPM is correct on symmetric-parity
+// codes too (it degenerates to the traditional pipeline), even though
+// the paper targets asymmetric codes for the gains.
+func TestSymmetricCodesDecodeUnderPPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+
+	eo, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp, err := NewRDP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		code Code
+		gen  func() (Scenario, error)
+	}{
+		{eo, func() (Scenario, error) { return eo.WorstCaseScenario(rng) }},
+		{rdp, func() (Scenario, error) { return rdp.WorstCaseScenario(rng) }},
+	} {
+		tc := tc
+		t.Run(tc.code.Name(), func(t *testing.T) {
+			st, err := StripeForCode(tc.code, 64<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.FillDataRandom(1, DataPositions(tc.code))
+			if err := TraditionalEncode(tc.code, st, nil); err != nil {
+				t.Fatal(err)
+			}
+			want := st.Clone()
+			sc, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Erase(sc.Faulty)
+			if err := NewDecoder(tc.code, WithThreads(4)).Decode(st, sc); err != nil {
+				t.Fatal(err)
+			}
+			if !st.Equal(want) {
+				t.Fatal("recovery mismatch")
+			}
+		})
+	}
+}
+
+// TestPartitionStructureByCodeFamily pins how much parallelism PPM's
+// partition extracts from a double-data-disk failure across code
+// families — the structural spectrum behind the paper's motivation:
+//
+//   - EVENODD: the adjuster diagonal entangles every diagonal equation
+//     with every failure → p = 0 (§III-C case 1, fully serial);
+//   - RDP: exactly one diagonal misses a failed cell on the imaginary
+//     row → p = 1 (case 2, still no parallelism);
+//   - RS: every stripe row is an independent codeword → p = r
+//     (case 3.1, the equation-oriented parallelism of related work);
+//   - SD worst case: mixed — p = r - z groups plus a sector-row
+//     remainder (case 3.2, the case PPM is designed for).
+func TestPartitionStructureByCodeFamily(t *testing.T) {
+	twoDisks := func(c Code) Scenario {
+		var faulty []int
+		for i := 0; i < c.NumRows(); i++ {
+			faulty = append(faulty, i*c.NumStrips(), i*c.NumStrips()+1)
+		}
+		sc, err := NewScenario(c, faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+
+	eo, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp, err := NewRDP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRS(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		code     Code
+		wantP    int
+		wantCase int
+	}{
+		{eo, 0, 1},
+		{rdp, 1, 2},
+		{rs, 4, 31},
+	} {
+		plan, err := BuildPlan(tc.code, twoDisks(tc.code), StrategyPPM)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.code.Name(), err)
+		}
+		if p := plan.Partition.P(); p != tc.wantP {
+			t.Errorf("%s: p = %d, want %d", tc.code.Name(), p, tc.wantP)
+		}
+		if cse := plan.Partition.Case(); cse != tc.wantCase {
+			t.Errorf("%s: case = %d, want %d", tc.code.Name(), cse, tc.wantCase)
+		}
+	}
+
+	// The asymmetric SD worst case exposes both phases: p = r - z
+	// groups plus a non-empty remainder.
+	sd, err := NewSD(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(602))
+	sdsc, err := sd.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdPlan, err := BuildPlan(sd, sdsc, StrategyPPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sdPlan.Partition.P(); p != 7 { // r - z = 8 - 1
+		t.Errorf("SD worst case p = %d, want 7", p)
+	}
+	if cse := sdPlan.Partition.Case(); cse != 32 {
+		t.Errorf("SD worst case = %d, want 32", cse)
+	}
+}
+
+// TestBlockParallelAPI: the related-work baseline recovers correctly
+// through the public API and costs exactly C1.
+func TestBlockParallelAPI(t *testing.T) {
+	code, err := NewSD(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StripeForCode(code, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(1, DataPositions(code))
+	if err := TraditionalEncode(code, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Clone()
+	rng := rand.New(rand.NewSource(603))
+	sc, err := code.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Erase(sc.Faulty)
+	var stats Stats
+	if err := BlockParallelDecode(code, st, sc, 4, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("recovery mismatch")
+	}
+	plan, err := BuildPlan(code, sc, StrategyWholeNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MultXORs() != plan.Costs.C1 {
+		t.Fatalf("block-parallel cost %d != C1 %d", stats.MultXORs(), plan.Costs.C1)
+	}
+}
