@@ -40,7 +40,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build vet test
+check: build vet test race
 
 clean:
 	$(GO) clean ./...

@@ -162,6 +162,15 @@ func WithStrategy(s Strategy) Option { return core.WithStrategy(s) }
 // WithStats attaches an operation counter shared across decodes.
 func WithStats(s *Stats) Option { return core.WithStats(s) }
 
+// WithPlanCache bounds the Decoder's built-in plan cache (on by
+// default, capacity core.DefaultPlanCacheSize): Decode keeps up to
+// capacity built plans, keyed by canonicalised failure pattern +
+// strategy, so repeated decodes of the same pattern — a whole-disk
+// rebuild decodes thousands of identically failed stripes — skip
+// planning and run at DecodeWithPlan speed with no per-stripe
+// allocations. capacity <= 0 disables caching.
+func WithPlanCache(capacity int) Option { return core.WithPlanCache(capacity) }
+
 // Backend selects the decoder's arithmetic engine.
 type Backend = core.Backend
 

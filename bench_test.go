@@ -217,20 +217,64 @@ func BenchmarkAblationSequences(b *testing.B) {
 }
 
 // BenchmarkAblationPlanReuse measures the planning overhead amortised
-// away by DecodeWithPlan when many stripes fail identically.
+// away by plan reuse when many stripes fail identically: fresh-plan
+// replans per decode (cache disabled), cached-plan is Decode with the
+// default plan cache, reused-plan is the explicit DecodeWithPlan path.
+// The latter two should be indistinguishable.
 func BenchmarkAblationPlanReuse(b *testing.B) {
 	sd, sc := sdWorstCase(b, 16, 16, 2, 2, 1)
-	dec := NewDecoder(sd, WithThreads(4))
 	b.Run("fresh-plan", func(b *testing.B) {
+		dec := NewDecoder(sd, WithThreads(4), WithPlanCache(0))
+		benchDecode(b, sd, sc, func(st *Stripe) error { return dec.Decode(st, sc) }, benchStripeBytes)
+	})
+	b.Run("cached-plan", func(b *testing.B) {
+		dec := NewDecoder(sd, WithThreads(4))
 		benchDecode(b, sd, sc, func(st *Stripe) error { return dec.Decode(st, sc) }, benchStripeBytes)
 	})
 	b.Run("reused-plan", func(b *testing.B) {
+		dec := NewDecoder(sd, WithThreads(4))
 		plan, err := dec.Plan(sc)
 		if err != nil {
 			b.Fatal(err)
 		}
 		benchDecode(b, sd, sc, func(st *Stripe) error { return dec.DecodeWithPlan(plan, st) }, benchStripeBytes)
 	})
+}
+
+// BenchmarkRepeatedDecodeAllocs isolates per-stripe allocations on the
+// repeated-decode path — the whole-disk-rebuild steady state. With the
+// plan cache, pooled scratch, pooled sessions and the persistent worker
+// pool, a cached Decode should allocate (almost) nothing per stripe;
+// the uncached arm shows what replanning costs in allocations.
+func BenchmarkRepeatedDecodeAllocs(b *testing.B) {
+	sd, sc := sdWorstCase(b, 8, 8, 2, 2, 1)
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cached/T=%d", threads), func(b *testing.B) {
+			dec := NewDecoder(sd, WithThreads(threads))
+			st := benchSetup(b, sd, sc, 256<<10)
+			if err := dec.Decode(st, sc); err != nil { // warm the plan cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dec.Decode(st, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("uncached/T=%d", threads), func(b *testing.B) {
+			dec := NewDecoder(sd, WithThreads(threads), WithPlanCache(0))
+			st := benchSetup(b, sd, sc, 256<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dec.Decode(st, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkArrayRepair measures whole-array reconstruction (2 dead

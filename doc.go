@@ -34,6 +34,29 @@
 //	st.Erase(sc.Faulty)
 //	err = dec.Decode(st, sc) // parallel recovery
 //
+// # Repeated decodes
+//
+// A Decoder is built for the rebuild-shaped workload, where thousands
+// of stripes fail with the same pattern. Three layers make the repeated
+// decode allocation-free: a plan cache on the Decoder (on by default,
+// see WithPlanCache) that maps each distinct failure pattern to its
+// built plan, so Decode runs at DecodeWithPlan speed from the second
+// stripe on; pooled kernel scratch and executor session state, reused
+// across decodes instead of reallocated; and a persistent worker pool
+// shared by all executors, replacing per-decode goroutine spawning.
+// A Decoder is safe for concurrent use by multiple goroutines on
+// distinct stripes.
+//
+// # Error propagation
+//
+// Every decode entry point — Decode, DecodeWithPlan, DecodeSectors,
+// BlockParallelDecode — reports sub-decode failures as returned errors:
+// a failing sub-decode is never silently dropped, and kernel-level
+// shape violations are converted from panics into errors. When several
+// parallel sub-decodes fail in one call, the error of the lowest group
+// index is returned, deterministically. An attached Stats counter is
+// never credited for work a failed sub-decode did not complete.
+//
 // See examples/ for runnable programs, DESIGN.md for the architecture,
 // and EXPERIMENTS.md for the paper-figure reproductions.
 package ppm

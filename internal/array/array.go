@@ -147,10 +147,12 @@ func (s RepairStats) String() string {
 		s.ThroughputMBps(), s.MultXORs, s.PlansBuilt)
 }
 
-// Repair reconstructs every failed sector in the array with PPM,
-// reusing one plan per distinct failure signature: stripes that lost
-// only the failed disks share a single plan (the overwhelmingly common
-// case), while stripes with extra sector errors get their own.
+// Repair reconstructs every failed sector in the array with PPM. Plan
+// reuse rides the Decoder's built-in plan cache: stripes that lost only
+// the failed disks share a single cached plan (the overwhelmingly
+// common case), while stripes with extra sector errors get their own
+// cache entries. The steady-state stripe decode is allocation-free —
+// one plan, pooled scratch, persistent workers.
 func (a *Array) Repair(threads int) (RepairStats, error) {
 	var stats RepairStats
 	if !a.Degraded() {
@@ -166,7 +168,6 @@ func (a *Array) Repair(threads int) (RepairStats, error) {
 
 	var opCounter kernel.Stats
 	dec := core.NewDecoder(a.code, core.WithThreads(threads), core.WithStats(&opCounter))
-	plans := make(map[string]*core.Plan)
 	start := time.Now()
 	for i, st := range a.stripes {
 		faulty := append([]int(nil), diskSectors...)
@@ -178,17 +179,7 @@ func (a *Array) Repair(threads int) (RepairStats, error) {
 		if err != nil {
 			return stats, fmt.Errorf("array: stripe %d: %w", i, err)
 		}
-		key := signature(sc.Faulty)
-		plan, ok := plans[key]
-		if !ok {
-			plan, err = dec.Plan(sc)
-			if err != nil {
-				return stats, fmt.Errorf("array: stripe %d unrecoverable: %w", i, err)
-			}
-			plans[key] = plan
-			stats.PlansBuilt++
-		}
-		if err := dec.DecodeWithPlan(plan, st); err != nil {
+		if err := dec.Decode(st, sc); err != nil {
 			return stats, fmt.Errorf("array: stripe %d: %w", i, err)
 		}
 		stats.Stripes++
@@ -196,6 +187,8 @@ func (a *Array) Repair(threads int) (RepairStats, error) {
 	}
 	stats.Elapsed = time.Since(start)
 	stats.MultXORs = opCounter.MultXORs()
+	_, misses := dec.PlanCacheStats()
+	stats.PlansBuilt = int(misses)
 
 	a.failedDisk = make(map[int]bool)
 	a.extra = make(map[int][]int)

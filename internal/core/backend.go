@@ -135,20 +135,25 @@ func executeBitMatrix(d *Decoder, plan *Plan, st *stripe.Stripe) error {
 			}
 		}
 	} else {
-		errs := make(chan error, len(plan.Groups))
-		sem := make(chan struct{}, t)
-		for i := range plan.Groups {
-			i := i
-			go func() {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				errs <- run(&plan.Groups[i])
-			}()
-		}
-		for range plan.Groups {
-			if err := <-errs; err != nil {
+		// Stride the groups over t workers of the persistent pool; the
+		// error from the lowest group index wins.
+		errs := make([]error, len(plan.Groups))
+		poolErr := kernel.DefaultWorkers().Run(t, func(w int) error {
+			for g := w; g < len(plan.Groups); g += t {
+				if err := run(&plan.Groups[g]); err != nil {
+					errs[g] = err
+					return err
+				}
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
 				return err
 			}
+		}
+		if poolErr != nil {
+			return poolErr
 		}
 	}
 	if plan.Rest != nil {

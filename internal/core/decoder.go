@@ -9,7 +9,9 @@ import (
 )
 
 // Decoder binds a code instance to PPM execution options. A Decoder is
-// safe for concurrent use by multiple goroutines on distinct stripes.
+// safe for concurrent use by multiple goroutines on distinct stripes:
+// the plan cache is mutex-guarded, cached plans are immutable, and the
+// executors draw their per-decode scratch state from pools.
 type Decoder struct {
 	code     codes.Code
 	threads  int
@@ -17,6 +19,8 @@ type Decoder struct {
 	stats    *kernel.Stats
 	hybrid   bool
 	backend  Backend
+	cacheCap int
+	cache    *planCache
 }
 
 // Option configures a Decoder.
@@ -47,11 +51,26 @@ func WithHybrid(enabled bool) Option {
 	return func(d *Decoder) { d.hybrid = enabled }
 }
 
-// NewDecoder builds a PPM decoder for the code.
+// WithPlanCache bounds the Decoder's built-in plan cache: Decode keeps
+// up to capacity built plans, keyed by failure pattern + strategy, so
+// repeated decodes of the same pattern (a whole-disk rebuild decodes
+// thousands of stripes that failed identically) skip planning entirely
+// and run at DecodeWithPlan speed. capacity <= 0 disables the cache
+// and restores plan-per-call behaviour. The default is
+// DefaultPlanCacheSize.
+func WithPlanCache(capacity int) Option {
+	return func(d *Decoder) { d.cacheCap = capacity }
+}
+
+// NewDecoder builds a PPM decoder for the code. The plan cache is on
+// by default (see WithPlanCache).
 func NewDecoder(c codes.Code, opts ...Option) *Decoder {
-	d := &Decoder{code: c, strategy: StrategyPPM}
+	d := &Decoder{code: c, strategy: StrategyPPM, cacheCap: DefaultPlanCacheSize}
 	for _, o := range opts {
 		o(d)
+	}
+	if d.cacheCap > 0 {
+		d.cache = newPlanCache(d.cacheCap)
 	}
 	return d
 }
@@ -66,16 +85,49 @@ func (d *Decoder) Plan(sc codes.Scenario) (*Plan, error) {
 }
 
 // Decode recovers the scenario's faulty sectors of st in place: plan,
-// parallel phase, merge phase.
+// parallel phase, merge phase. With the plan cache enabled (the
+// default) the plan is built once per distinct failure pattern and
+// every later Decode of that pattern runs at DecodeWithPlan speed.
 func (d *Decoder) Decode(st *stripe.Stripe, sc codes.Scenario) error {
 	if err := d.checkGeometry(st); err != nil {
 		return err
 	}
-	plan, err := BuildPlan(d.code, sc, d.strategy)
+	plan, err := d.planFor(sc)
 	if err != nil {
 		return err
 	}
 	return d.execute(plan, st)
+}
+
+// planFor returns the plan for the scenario, consulting the cache when
+// enabled. Concurrent first-decodes of the same pattern may build the
+// plan more than once; plans are idempotent, so the duplicates are
+// merely discarded.
+func (d *Decoder) planFor(sc codes.Scenario) (*Plan, error) {
+	if d.cache == nil {
+		return BuildPlan(d.code, sc, d.strategy)
+	}
+	var arr [96]byte
+	key := planKey(arr[:0], sc, d.strategy)
+	if plan := d.cache.get(key); plan != nil {
+		return plan, nil
+	}
+	plan, err := BuildPlan(d.code, sc, d.strategy)
+	if err != nil {
+		return nil, err
+	}
+	d.cache.put(key, plan)
+	return plan, nil
+}
+
+// PlanCacheStats reports the plan cache's hit and miss counters since
+// the Decoder was built (both zero when the cache is disabled). Misses
+// equal the number of plans Decode built.
+func (d *Decoder) PlanCacheStats() (hits, misses int64) {
+	if d.cache == nil {
+		return 0, 0
+	}
+	return d.cache.stats()
 }
 
 // DecodeWithPlan runs a previously built plan against a stripe —

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
@@ -11,19 +10,48 @@ import (
 )
 
 // Execute runs a plan against a stripe: Step 3 fans the p independent
-// sub-decodes over T worker goroutines, Step 4 merges the recovered
-// blocks into the remaining decode. threads <= 0 selects the paper's
-// default T = min(4, cores); the effective T never exceeds p ("we also
-// restrain the number of threads T (T <= p)", §III-C).
-func Execute(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats) error {
+// sub-decodes over T workers of the persistent kernel pool, Step 4
+// merges the recovered blocks into the remaining decode. threads <= 0
+// selects the paper's default T = min(4, cores); the effective T never
+// exceeds p ("we also restrain the number of threads T (T <= p)",
+// §III-C).
+//
+// Error contract: if any sub-decode fails, Execute returns the error of
+// the lowest-indexed failing group (then the remaining decode's),
+// deterministically — concurrent failures are never dropped. The
+// per-decode state (sector views, error slots, Normal-sequence scratch)
+// comes from pools, so repeated executions of one plan allocate
+// nothing per stripe.
+func Execute(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats) (err error) {
 	if p == nil {
 		return fmt.Errorf("core: nil plan")
 	}
+	// View preparation dereferences the plan's column lists; a malformed
+	// plan surfaces as an error, like every other executor failure.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: execute failed: %v", r)
+		}
+	}()
+	s := getSession()
+	defer s.release()
+	s.reserveViews(viewCount(p))
+
 	if p.Whole != nil {
-		return runSubDecode(&p.Whole.SubDecode, st, field, stats)
+		in := s.sectorViews(st, p.Whole.SurvivorCols)
+		out := s.sectorViews(st, p.Whole.FaultyCols)
+		return applySubDecode(&p.Whole.SubDecode, field, in, out, stats)
 	}
 	if len(p.Groups) == 0 && p.Rest == nil {
 		return nil // nothing faulty
+	}
+
+	// Prepare every group's views serially; the views alias the stripe,
+	// so filling them before the fan-out costs pointer writes only.
+	s.reservePairs(len(p.Groups))
+	for i := range p.Groups {
+		s.ins[i] = s.sectorViews(st, p.Groups[i].SurvivorCols)
+		s.outs[i] = s.sectorViews(st, p.Groups[i].FaultyCols)
 	}
 
 	t := effectiveThreads(threads, len(p.Groups))
@@ -33,37 +61,39 @@ func Execute(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *ker
 	case t <= 1 || len(p.Groups) == 1:
 		// Case 2 (or single worker): decode groups serially.
 		for i := range p.Groups {
-			if err := runSubDecode(&p.Groups[i], st, field, stats); err != nil {
+			if err := applySubDecode(&p.Groups[i], field, s.ins[i], s.outs[i], stats); err != nil {
 				return err
 			}
 		}
 	default:
 		// Case 3/4: thread (g mod T) processes group g, as in
-		// Algorithm 1. Workers pick up a fixed stride of groups.
-		var wg sync.WaitGroup
-		errs := make([]error, t)
-		for w := 0; w < t; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for g := w; g < len(p.Groups); g += t {
-					if err := runSubDecode(&p.Groups[g], st, field, stats); err != nil {
-						errs[w] = err
-						return
-					}
+		// Algorithm 1. Workers pick up a fixed stride of groups on the
+		// persistent pool; each group's outcome lands in its own slot
+		// and the lowest-indexed failure wins.
+		errs := s.errSlots(len(p.Groups))
+		poolErr := kernel.DefaultWorkers().Run(t, func(w int) error {
+			for g := w; g < len(p.Groups); g += t {
+				if err := applySubDecode(&p.Groups[g], field, s.ins[g], s.outs[g], stats); err != nil {
+					errs[g] = err
+					return err
 				}
-			}(w)
-		}
-		wg.Wait()
+			}
+			return nil
+		})
 		for _, err := range errs {
 			if err != nil {
 				return err
 			}
 		}
+		if poolErr != nil {
+			return poolErr
+		}
 	}
 
 	if p.Rest != nil {
-		return runSubDecode(p.Rest, st, field, stats)
+		in := s.sectorViews(st, p.Rest.SurvivorCols)
+		out := s.sectorViews(st, p.Rest.FaultyCols)
+		return applySubDecode(p.Rest, field, in, out, stats)
 	}
 	return nil
 }
@@ -94,14 +124,16 @@ func effectiveThreads(threads, p int) int {
 // Step 4): writes the recovered faulty blocks into the stripe. The
 // compiled fast path is used when the plan was lowered (always, for
 // plans from BuildPlan); the matrix path remains as the fallback for
-// hand-assembled sub-decodes in tests.
-func runSubDecode(sd *SubDecode, st *stripe.Stripe, field gf.Field, stats *kernel.Stats) error {
+// hand-assembled sub-decodes in tests. Failures — including
+// out-of-range column lists and kernel shape panics — are returned as
+// errors.
+func runSubDecode(sd *SubDecode, st *stripe.Stripe, field gf.Field, stats *kernel.Stats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sub-decode failed: %v", r)
+		}
+	}()
 	out := st.Sectors(sd.FaultyCols)
 	in := st.Sectors(sd.SurvivorCols)
-	if sd.cG != nil || sd.cFinv != nil {
-		kernel.CompiledProduct(sd.cFinv, sd.cS, sd.cG, in, out, nil, sd.Seq, stats)
-		return nil
-	}
-	kernel.Product(field, sd.Finv, sd.S, in, out, nil, sd.Seq, stats)
-	return nil
+	return applySubDecode(sd, field, in, out, stats)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
@@ -20,41 +19,44 @@ import (
 // stats contract still counts one operation per nonzero coefficient.
 
 // runSubDecodeChunked runs one sub-decode with its byte range split
-// over `workers` goroutines. workers <= 1 falls back to the serial run.
-func runSubDecodeChunked(sd *SubDecode, st *stripe.Stripe, field gf.Field, workers int, stats *kernel.Stats) error {
+// over `workers` chunks on the persistent pool. workers <= 1 falls back
+// to the serial run. A failing chunk aborts with that chunk's error
+// (lowest chunk index wins) and leaves the operation count untouched.
+func runSubDecodeChunked(sd *SubDecode, st *stripe.Stripe, field gf.Field, workers int, stats *kernel.Stats) (err error) {
 	if workers <= 1 {
 		return runSubDecode(sd, st, field, stats)
 	}
-	out := st.Sectors(sd.FaultyCols)
-	in := st.Sectors(sd.SurvivorCols)
 	chunks := kernel.ChunkRanges(st.SectorSize(), workers, field.WordBytes())
 	if len(chunks) <= 1 {
 		return runSubDecode(sd, st, field, stats)
 	}
-	var wg sync.WaitGroup
-	for _, ch := range chunks {
-		ch := ch
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cin := kernel.SliceRegions(in, ch[0], ch[1])
-			cout := kernel.SliceRegions(out, ch[0], ch[1])
-			// Per-chunk stats are discarded; the logical operation count
-			// is added once below.
-			if sd.cG != nil || sd.cFinv != nil {
-				kernel.CompiledProduct(sd.cFinv, sd.cS, sd.cG, cin, cout, nil, sd.Seq, nil)
-			} else {
-				kernel.Product(field, sd.Finv, sd.S, cin, cout, nil, sd.Seq, nil)
-			}
-		}()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sub-decode failed: %v", r)
+		}
+	}()
+	out := st.Sectors(sd.FaultyCols)
+	in := st.Sectors(sd.SurvivorCols)
+	err = kernel.DefaultWorkers().Run(len(chunks), func(i int) error {
+		ch := chunks[i]
+		cin := kernel.SliceRegions(in, ch[0], ch[1])
+		cout := kernel.SliceRegions(out, ch[0], ch[1])
+		// Per-chunk stats are discarded; the logical operation count
+		// is added once below.
+		return applySubDecode(sd, field, cin, cout, nil)
+	})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
 	stats.AddMultXORs(sd.ops())
 	return nil
 }
 
 // ExecuteHybrid runs a plan with the hybrid policy: parallel groups as
-// in Execute, serial phases chunked over the worker budget.
+// in Execute, serial phases chunked over the worker budget. Like
+// Execute, a failing sub-decode is reported, not dropped: the error
+// from the lowest-indexed failing group wins, then the remaining
+// decode's.
 func ExecuteHybrid(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stats *kernel.Stats) error {
 	if p == nil {
 		return fmt.Errorf("core: nil plan")
@@ -80,36 +82,51 @@ func ExecuteHybrid(p *Plan, st *stripe.Stripe, field gf.Field, threads int, stat
 		}
 	case len(p.Groups) >= t:
 		// Enough groups to keep every worker on whole sub-decodes.
-		var wg sync.WaitGroup
-		for w := 0; w < t; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for g := w; g < len(p.Groups); g += t {
-					_ = runSubDecode(&p.Groups[g], st, field, stats)
+		// Each group's outcome lands in its own slot so the error from
+		// the lowest group index is returned deterministically.
+		errs := make([]error, len(p.Groups))
+		poolErr := kernel.DefaultWorkers().Run(t, func(w int) error {
+			for g := w; g < len(p.Groups); g += t {
+				if err := runSubDecode(&p.Groups[g], st, field, stats); err != nil {
+					errs[g] = err
+					return err
 				}
-			}(w)
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		wg.Wait()
+		if poolErr != nil {
+			return poolErr
+		}
 	default:
 		// Fewer groups than workers: give each group a slice of the
 		// surplus and chunk its byte range across that share.
 		share := t / len(p.Groups)
 		extra := t % len(p.Groups)
-		var wg sync.WaitGroup
-		for g := range p.Groups {
-			g := g
+		errs := make([]error, len(p.Groups))
+		poolErr := kernel.DefaultWorkers().Run(len(p.Groups), func(g int) error {
 			workers := share
 			if g < extra {
 				workers++
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				_ = runSubDecodeChunked(&p.Groups[g], st, field, workers, stats)
-			}()
+			if err := runSubDecodeChunked(&p.Groups[g], st, field, workers, stats); err != nil {
+				errs[g] = err
+				return err
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		wg.Wait()
+		if poolErr != nil {
+			return poolErr
+		}
 	}
 
 	if p.Rest != nil {

@@ -129,20 +129,25 @@ func ExecutePartial(p *Plan, st *stripe.Stripe, field gf.Field, threads int, sta
 			}
 		}
 	} else {
-		done := make(chan error, len(sel.GroupIdx))
-		sem := make(chan struct{}, t)
-		for _, gi := range sel.GroupIdx {
-			gi := gi
-			go func() {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				done <- runSubDecode(&p.Groups[gi], st, field, stats)
-			}()
-		}
-		for range sel.GroupIdx {
-			if err := <-done; err != nil {
+		// Stride the selected groups over t workers of the persistent
+		// pool; the error from the lowest selected index wins.
+		errs := make([]error, len(sel.GroupIdx))
+		poolErr := kernel.DefaultWorkers().Run(t, func(w int) error {
+			for i := w; i < len(sel.GroupIdx); i += t {
+				if err := runSubDecode(&p.Groups[sel.GroupIdx[i]], st, field, stats); err != nil {
+					errs[i] = err
+					return err
+				}
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
 				return err
 			}
+		}
+		if poolErr != nil {
+			return poolErr
 		}
 	}
 	if sel.NeedRest {
@@ -158,7 +163,7 @@ func (d *Decoder) DecodeSectors(st *stripe.Stripe, sc codes.Scenario, wanted []i
 	if err := d.checkGeometry(st); err != nil {
 		return err
 	}
-	plan, err := BuildPlan(d.code, sc, d.strategy)
+	plan, err := d.planFor(sc)
 	if err != nil {
 		return err
 	}

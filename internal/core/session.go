@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// execSession is the reusable per-decode state of the standard
+// executor: an arena of sector-view slice headers, the per-group
+// in/out view pairs, and the per-group error slots. Sessions circulate
+// through a sync.Pool, so the repeated-decode path — one plan executed
+// against thousands of stripes during a whole-disk rebuild — allocates
+// nothing per stripe beyond the worker pool's fixed dispatch state.
+//
+// A session is owned by exactly one Execute call; the stripe views it
+// holds are cleared on release so the pool never pins stripe buffers.
+type execSession struct {
+	views [][]byte
+	used  int
+	ins   [][][]byte
+	outs  [][][]byte
+	errs  []error
+}
+
+var sessionPool = sync.Pool{New: func() interface{} { return new(execSession) }}
+
+func getSession() *execSession {
+	s := sessionPool.Get().(*execSession)
+	s.used = 0
+	return s
+}
+
+func (s *execSession) release() {
+	for i := range s.views {
+		s.views[i] = nil // do not pin stripe buffers in the pool
+	}
+	sessionPool.Put(s)
+}
+
+// reserveViews sizes the arena for n sector views.
+func (s *execSession) reserveViews(n int) {
+	if cap(s.views) < n {
+		s.views = make([][]byte, n)
+	}
+	s.views = s.views[:n]
+	s.used = 0
+}
+
+// sectorViews takes len(cols) views from the arena and fills them with
+// the stripe's sector buffers.
+func (s *execSession) sectorViews(st *stripe.Stripe, cols []int) [][]byte {
+	v := s.views[s.used : s.used+len(cols) : s.used+len(cols)]
+	s.used += len(cols)
+	for i, c := range cols {
+		v[i] = st.Sector(c)
+	}
+	return v
+}
+
+// reservePairs sizes the per-group in/out tables.
+func (s *execSession) reservePairs(n int) {
+	if cap(s.ins) < n {
+		s.ins = make([][][]byte, n)
+		s.outs = make([][][]byte, n)
+	}
+	s.ins = s.ins[:n]
+	s.outs = s.outs[:n]
+}
+
+// errSlots returns n cleared error slots.
+func (s *execSession) errSlots(n int) []error {
+	if cap(s.errs) < n {
+		s.errs = make([]error, n)
+	}
+	s.errs = s.errs[:n]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	return s.errs
+}
+
+// viewCount returns the number of sector views a plan's execution
+// needs, so a session can reserve its arena in one step.
+func viewCount(p *Plan) int {
+	if p.Whole != nil {
+		return len(p.Whole.FaultyCols) + len(p.Whole.SurvivorCols)
+	}
+	n := 0
+	for i := range p.Groups {
+		n += len(p.Groups[i].FaultyCols) + len(p.Groups[i].SurvivorCols)
+	}
+	if p.Rest != nil {
+		n += len(p.Rest.FaultyCols) + len(p.Rest.SurvivorCols)
+	}
+	return n
+}
+
+// validate checks the sub-decode's matrices against the view counts the
+// executor is about to apply them to, so a malformed or hand-assembled
+// sub-decode surfaces as a returned error instead of a kernel panic.
+func (sd *SubDecode) validate(inN, outN int) error {
+	var rows, cols int
+	switch {
+	case sd.Seq == kernel.MatrixFirst && sd.cG != nil:
+		rows, cols = sd.cG.Rows(), sd.cG.Cols()
+	case sd.Seq == kernel.MatrixFirst && sd.G != nil:
+		rows, cols = sd.G.Rows(), sd.G.Cols()
+	case sd.Seq == kernel.MatrixFirst:
+		return fmt.Errorf("core: sub-decode has no matrix-first product")
+	case sd.cFinv != nil && sd.cS != nil:
+		if sd.cFinv.Rows() != sd.cFinv.Cols() || sd.cFinv.Cols() != sd.cS.Rows() {
+			return fmt.Errorf("core: sub-decode F^-1 %dx%d does not chain to S %dx%d",
+				sd.cFinv.Rows(), sd.cFinv.Cols(), sd.cS.Rows(), sd.cS.Cols())
+		}
+		rows, cols = sd.cS.Rows(), sd.cS.Cols()
+	case sd.Finv != nil && sd.S != nil:
+		if sd.Finv.Rows() != sd.Finv.Cols() || sd.Finv.Cols() != sd.S.Rows() {
+			return fmt.Errorf("core: sub-decode F^-1 %s does not chain to S %s", sd.Finv.Dims(), sd.S.Dims())
+		}
+		rows, cols = sd.S.Rows(), sd.S.Cols()
+	default:
+		return fmt.Errorf("core: sub-decode has no matrices for the normal sequence")
+	}
+	if rows != outN || cols != inN {
+		return fmt.Errorf("core: sub-decode matrix is %dx%d against %d survivors, %d faulty", rows, cols, inN, outN)
+	}
+	return nil
+}
+
+// applySubDecode runs one sub-decode's kernel product on prepared
+// views. Shape mismatches and kernel panics come back as errors — the
+// executors' contract is that a failing sub-decode is always reported,
+// never dropped and never allowed to kill the process.
+func applySubDecode(sd *SubDecode, field gf.Field, in, out [][]byte, stats *kernel.Stats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sub-decode failed: %v", r)
+		}
+	}()
+	if verr := sd.validate(len(in), len(out)); verr != nil {
+		return verr
+	}
+	if sd.cG != nil || sd.cFinv != nil {
+		kernel.CompiledProduct(sd.cFinv, sd.cS, sd.cG, in, out, nil, sd.Seq, stats)
+	} else {
+		kernel.Product(field, sd.Finv, sd.S, in, out, nil, sd.Seq, stats)
+	}
+	return nil
+}

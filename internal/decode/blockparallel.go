@@ -2,10 +2,10 @@ package decode
 
 import (
 	"fmt"
-	"sync"
 
 	"ppm/internal/codes"
 	"ppm/internal/kernel"
+	"ppm/internal/matrix"
 	"ppm/internal/stripe"
 )
 
@@ -22,7 +22,7 @@ import (
 // computation and its C1 cost; PPM's matrix-oriented partition reduces
 // the computation itself (C4 < C1) and parallelises along the failure
 // structure. The ablation benchmarks compare all three.
-func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, threads int, opts Options) error {
+func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, threads int, opts Options) (err error) {
 	if err := checkGeometry(c, st); err != nil {
 		return err
 	}
@@ -32,6 +32,14 @@ func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, thr
 	if threads < 1 {
 		threads = 1
 	}
+	// A malformed parity-check matrix (or any other kernel-level shape
+	// violation) surfaces as a returned error, never a crash or a
+	// silently incomplete decode.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode: block-parallel decode failed: %v", r)
+		}
+	}()
 	h := c.ParityCheck()
 	faulty := sc.FaultySet()
 
@@ -40,9 +48,9 @@ func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, thr
 		return fmt.Errorf("decode: %d erasures exceed %d parity-check rows of %s", fM.Cols(), fM.Rows(), c.Name())
 	}
 	if fM.Rows() > fM.Cols() {
-		rows, err := fM.PivotRows()
-		if err != nil {
-			return fmt.Errorf("decode: %s cannot recover pattern %v: %w", c.Name(), sc.Faulty, err)
+		rows, perr := fM.PivotRows()
+		if perr != nil {
+			return fmt.Errorf("decode: %s cannot recover pattern %v: %w", c.Name(), sc.Faulty, perr)
 		}
 		fM = fM.SelectRows(rows)
 		sM = sM.SelectRows(rows)
@@ -51,32 +59,42 @@ func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, thr
 	if err != nil {
 		return fmt.Errorf("decode: %s cannot recover pattern %v: %w", c.Name(), sc.Faulty, err)
 	}
+	// For MatrixFirst the scalar product F^-1 * S is computed exactly
+	// once and shared by every chunk worker AND the stats count below —
+	// the serial baseline recomputed it per chunk plus once for stats.
+	var g *matrix.Matrix
+	if opts.Sequence == kernel.MatrixFirst {
+		g = finv.Mul(sM)
+	}
 
 	in := st.Sectors(sCols)
 	out := st.Sectors(fCols)
 
-	// Word-aligned chunk boundaries over the sector byte range.
+	// Word-aligned chunk boundaries over the sector byte range, fanned
+	// out on the persistent worker pool. A failing chunk (lowest chunk
+	// index wins) aborts the decode with its error.
 	chunks := kernel.ChunkRanges(st.SectorSize(), threads, c.Field().WordBytes())
-	var wg sync.WaitGroup
-	for _, ch := range chunks {
-		ch := ch
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			kernel.Product(c.Field(), finv, sM,
-				kernel.SliceRegions(in, ch[0], ch[1]),
-				kernel.SliceRegions(out, ch[0], ch[1]),
-				nil, opts.Sequence, nil)
-		}()
+	err = kernel.DefaultWorkers().Run(len(chunks), func(i int) error {
+		ch := chunks[i]
+		cin := kernel.SliceRegions(in, ch[0], ch[1])
+		cout := kernel.SliceRegions(out, ch[0], ch[1])
+		if g != nil {
+			kernel.Zero(cout)
+			kernel.Apply(c.Field(), g, cin, cout, nil)
+		} else {
+			kernel.Product(c.Field(), finv, sM, cin, cout, nil, opts.Sequence, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
 	// The stats contract counts one mult_XORs per nonzero coefficient
 	// regardless of how the byte range was split.
 	if opts.Stats != nil {
-		switch opts.Sequence {
-		case kernel.MatrixFirst:
-			opts.Stats.AddMultXORs(int64(finv.Mul(sM).NNZ()))
-		default:
+		if g != nil {
+			opts.Stats.AddMultXORs(int64(g.NNZ()))
+		} else {
 			opts.Stats.AddMultXORs(int64(finv.NNZ() + sM.NNZ()))
 		}
 	}

@@ -1,0 +1,61 @@
+package decode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/matrix"
+)
+
+// malformedCode wraps a real code but reports a parity-check matrix
+// with one extra column, so the decode path references a sector the
+// stripe does not have — the kind of shape violation that used to
+// escape as a panic.
+type malformedCode struct {
+	codes.Code
+	h *matrix.Matrix
+}
+
+func (m malformedCode) ParityCheck() *matrix.Matrix { return m.h }
+
+func newMalformedCode(t *testing.T, c codes.Code) malformedCode {
+	t.Helper()
+	h := c.ParityCheck()
+	bad := matrix.New(c.Field(), h.Rows(), h.Cols()+1)
+	for r := 0; r < h.Rows(); r++ {
+		for col := 0; col < h.Cols(); col++ {
+			bad.Set(r, col, h.At(r, col))
+		}
+		bad.Set(r, h.Cols(), 1) // the phantom sector appears in every row
+	}
+	return malformedCode{Code: c, h: bad}
+}
+
+// TestBlockParallelInjectedFailureReturnsError: a malformed code must
+// surface as a returned error from every worker configuration — never a
+// process crash, never a silently incomplete decode.
+func TestBlockParallelInjectedFailureReturnsError(t *testing.T) {
+	sd, err := codes.NewSD(6, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(151))
+	sc, err := sd.WorstCaseScenario(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := newMalformedCode(t, sd)
+	st := encodedStripe(t, sd, 64, 152)
+	st.Scribble(1, sc.Faulty)
+	for _, threads := range []int{1, 4} {
+		err := DecodeBlockParallel(bad, st.Clone(), sc, threads, Options{})
+		if err == nil {
+			t.Fatalf("threads=%d: malformed parity-check accepted", threads)
+		}
+		if !strings.Contains(err.Error(), "decode:") {
+			t.Fatalf("threads=%d: unexpected error %v", threads, err)
+		}
+	}
+}

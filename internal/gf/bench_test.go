@@ -1,6 +1,7 @@
 package gf
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -39,6 +40,34 @@ func BenchmarkXORRegion128KiB(b *testing.B) {
 	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {
 		GF8.MultXORs(dst, src, 1)
+	}
+}
+
+// BenchmarkGF32TableMemo shows what the split-table memo buys at w=32:
+// "rebuilt" is the seed behaviour (1024 scalar carry-less multiplies per
+// region op, dominating small regions), "memoized" is the shipped path
+// where every constant's tables are built once and shared.
+func BenchmarkGF32TableMemo(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	const a = 0x2B5F17D3
+	for _, size := range []int{4096, 128 << 10} {
+		src := make([]byte, size)
+		dst := make([]byte, size)
+		rng.Read(src)
+		rng.Read(dst)
+		f := GF32.(field32)
+		b.Run(fmt.Sprintf("rebuilt_%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				multXOR32(f.splitTables32(a), dst, src)
+			}
+		})
+		b.Run(fmt.Sprintf("memoized_%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				f.MultXORs(dst, src, a)
+			}
+		})
 	}
 }
 

@@ -3,6 +3,8 @@ package gf
 import (
 	"encoding/binary"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
 // GF(2^32) with polynomial x^32 + x^22 + x^2 + x + 1 (0x100400007).
@@ -90,8 +92,11 @@ func (f field32) Exp(a uint32, n int) uint32 {
 }
 
 // splitTables32 builds four per-constant lanes:
-// t[j][b] = a * (b << 8j). 1024 scalar multiplies per region call.
-func (f field32) splitTables32(a uint32) (t [4][256]uint32) {
+// t[j][b] = a * (b << 8j). 1024 scalar carry-less multiplies — the
+// dominant cost of a region op when rebuilt per call, which is why the
+// tables are memoized (see tables below).
+func (f field32) splitTables32(a uint32) *[4][256]uint32 {
+	t := new([4][256]uint32)
 	for j := 0; j < 4; j++ {
 		shift := uint(8 * j)
 		for b := 1; b < 256; b++ {
@@ -99,6 +104,47 @@ func (f field32) splitTables32(a uint32) (t [4][256]uint32) {
 		}
 	}
 	return t
+}
+
+// No log table fits in memory at w=32, but a decode touches only the
+// handful of constants its matrices hold, so the split tables are
+// memoized per constant: the first region op for a constant pays the
+// 1024 scalar multiplies, every later MultXORs/MulRegion call — and
+// every MultiplierFor — shares the same immutable tables. The memo is
+// bounded: past maxTables32 distinct constants (4 KiB each), further
+// tables are built per call without being retained, so adversarial
+// constant churn cannot grow memory without bound.
+const maxTables32 = 4096
+
+var (
+	tables32      sync.Map // uint32 -> *[4][256]uint32, read-only once stored
+	tables32Count atomic.Int32
+)
+
+// tables returns the memoized split tables for a, building them on
+// first use.
+func (f field32) tables(a uint32) *[4][256]uint32 {
+	if v, ok := tables32.Load(a); ok {
+		return v.(*[4][256]uint32)
+	}
+	t := f.splitTables32(a)
+	if tables32Count.Load() >= maxTables32 {
+		return t
+	}
+	if v, loaded := tables32.LoadOrStore(a, t); loaded {
+		return v.(*[4][256]uint32)
+	}
+	tables32Count.Add(1)
+	return t
+}
+
+// multXOR32 is the region loop over prebuilt tables: dst[i] ^= a*src[i].
+func multXOR32(t *[4][256]uint32, dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		w := binary.LittleEndian.Uint32(src[i:])
+		p := t[0][w&0xFF] ^ t[1][(w>>8)&0xFF] ^ t[2][(w>>16)&0xFF] ^ t[3][w>>24]
+		binary.LittleEndian.PutUint32(dst[i:], binary.LittleEndian.Uint32(dst[i:])^p)
+	}
 }
 
 func (f field32) MultXORs(dst, src []byte, a uint32) {
@@ -110,12 +156,7 @@ func (f field32) MultXORs(dst, src []byte, a uint32) {
 		xorRegion(dst, src)
 		return
 	}
-	t := f.splitTables32(a)
-	for i := 0; i+4 <= len(dst); i += 4 {
-		w := binary.LittleEndian.Uint32(src[i:])
-		p := t[0][w&0xFF] ^ t[1][(w>>8)&0xFF] ^ t[2][(w>>16)&0xFF] ^ t[3][w>>24]
-		binary.LittleEndian.PutUint32(dst[i:], binary.LittleEndian.Uint32(dst[i:])^p)
-	}
+	multXOR32(f.tables(a), dst, src)
 }
 
 func (f field32) MulRegion(dst, src []byte, a uint32) {
@@ -128,7 +169,7 @@ func (f field32) MulRegion(dst, src []byte, a uint32) {
 		copyRegion(dst, src)
 		return
 	}
-	t := f.splitTables32(a)
+	t := f.tables(a)
 	for i := 0; i+4 <= len(dst); i += 4 {
 		w := binary.LittleEndian.Uint32(src[i:])
 		binary.LittleEndian.PutUint32(dst[i:], t[0][w&0xFF]^t[1][(w>>8)&0xFF]^t[2][(w>>16)&0xFF]^t[3][w>>24])

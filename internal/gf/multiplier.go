@@ -40,7 +40,10 @@ func MultiplierFor(f Field, a uint32) Multiplier {
 		if a <= 1 {
 			return trivialMultiplier{a: a, wb: 4}
 		}
-		return &multiplier32{a: a, t: ff.splitTables32(a)}
+		// Shares the field's memoized tables: compiling a plan that
+		// repeats a constant — or recompiling across plans — never
+		// rebuilds them.
+		return &multiplier32{a: a, t: ff.tables(a)}
 	default:
 		// Unknown Field implementation: fall back to the generic call.
 		return genericMultiplier{f: f, a: a}
@@ -115,7 +118,7 @@ func (m *multiplier16) MultXOR(dst, src []byte) {
 
 type multiplier32 struct {
 	a uint32
-	t [4][256]uint32
+	t *[4][256]uint32
 }
 
 func (m *multiplier32) Coefficient() uint32 { return m.a }

@@ -93,7 +93,9 @@ func CompiledProduct(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq 
 		g.Apply(in, out, stats)
 	case Normal:
 		if scratch == nil {
-			scratch = AllocRegions(len(out), regionLen(out))
+			sb := GetScratch(len(out), regionLen(out))
+			defer sb.Release()
+			scratch = sb.Regions()
 		}
 		Zero(scratch)
 		s.Apply(in, scratch, stats)

@@ -119,7 +119,8 @@ func Zero(regions [][]byte) {
 // requested sequence, where finv is f x f, s is f x q, in holds the q
 // surviving regions and out the f faulty regions. The scratch slice, if
 // non-nil, must hold f regions of the same size and is used by the
-// Normal sequence to hold the intermediate S * BS; pass nil to allocate.
+// Normal sequence to hold the intermediate S * BS; pass nil to borrow
+// pooled scratch for the duration of the call.
 func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
 	if finv.Rows() != finv.Cols() || finv.Cols() != s.Rows() {
 		panic(fmt.Sprintf("kernel: shape mismatch F^-1 %s vs S %s", finv.Dims(), s.Dims()))
@@ -131,7 +132,9 @@ func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq 
 		Apply(f, g, in, out, stats)
 	case Normal:
 		if scratch == nil {
-			scratch = AllocRegions(len(out), regionLen(out))
+			sb := GetScratch(len(out), regionLen(out))
+			defer sb.Release()
+			scratch = sb.Regions()
 		}
 		Zero(scratch)
 		Apply(f, s, in, scratch, stats)

@@ -1,0 +1,163 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScratchShape: pooled scratch delivers the requested geometry with
+// capped, contiguous regions, across growing and shrinking requests.
+func TestScratchShape(t *testing.T) {
+	for _, dims := range [][2]int{{1, 8}, {4, 64}, {2, 16}, {7, 128}} {
+		sb := GetScratch(dims[0], dims[1])
+		regions := sb.Regions()
+		if len(regions) != dims[0] {
+			t.Fatalf("got %d regions, want %d", len(regions), dims[0])
+		}
+		for i, r := range regions {
+			if len(r) != dims[1] || cap(r) != dims[1] {
+				t.Fatalf("region %d: len %d cap %d, want %d", i, len(r), cap(r), dims[1])
+			}
+			for j := range r {
+				r[j] = byte(i) // exclusive ownership: writes must not alias
+			}
+		}
+		for i, r := range regions {
+			for j, b := range r {
+				if b != byte(i) {
+					t.Fatalf("region %d byte %d overwritten: regions alias", i, j)
+				}
+			}
+		}
+		sb.Release()
+	}
+}
+
+// TestScratchConcurrent: concurrent Get/Release never hands two holders
+// the same buffer (fails under -race if it does).
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sb := GetScratch(3, 256)
+				for _, r := range sb.Regions() {
+					for j := range r {
+						r[j] = byte(w)
+					}
+				}
+				sb.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWorkersRunAll: every index runs exactly once.
+func TestWorkersRunAll(t *testing.T) {
+	w := DefaultWorkers()
+	for _, n := range []int{0, 1, 2, 5, 64, 500} {
+		counts := make([]atomic.Int32, n)
+		if err := w.Run(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestWorkersLowestIndexError: with several failing tasks the error of
+// the lowest index is returned, deterministically, run after run.
+func TestWorkersLowestIndexError(t *testing.T) {
+	w := DefaultWorkers()
+	for trial := 0; trial < 50; trial++ {
+		err := w.Run(16, func(i int) error {
+			if i == 3 || i == 7 || i == 12 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: got %v, want the lowest-index error (task 3)", trial, err)
+		}
+	}
+}
+
+// TestWorkersPanicBecomesError: a panicking task is reported as that
+// task's error instead of crashing the process or being dropped.
+func TestWorkersPanicBecomesError(t *testing.T) {
+	w := DefaultWorkers()
+	err := w.Run(8, func(i int) error {
+		if i == 2 {
+			panic("injected failure")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	// A panic and a plain error race for the lowest index: index 1's
+	// error must win over index 4's panic.
+	sentinel := errors.New("plain failure")
+	err = w.Run(8, func(i int) error {
+		if i == 4 {
+			panic("later panic")
+		}
+		if i == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the lower-index plain error", err)
+	}
+}
+
+// TestWorkersNested: Run inside Run must not deadlock even when the
+// outer fan-out saturates the pool (inner tasks fall back to inline
+// execution on the submitting worker).
+func TestWorkersNested(t *testing.T) {
+	w := DefaultWorkers()
+	var total atomic.Int64
+	err := w.Run(32, func(i int) error {
+		return w.Run(32, func(j int) error {
+			total.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != 32*32 {
+		t.Fatalf("ran %d inner tasks, want %d", got, 32*32)
+	}
+}
+
+// TestWorkersNestedError: errors propagate through nested Runs.
+func TestWorkersNestedError(t *testing.T) {
+	w := DefaultWorkers()
+	err := w.Run(4, func(i int) error {
+		return w.Run(4, func(j int) error {
+			if i == 1 && j == 2 {
+				return fmt.Errorf("inner %d/%d", i, j)
+			}
+			return nil
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "inner 1/2") {
+		t.Fatalf("nested error lost: %v", err)
+	}
+}
