@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments paper fmt vet check clean
+.PHONY: all build test test-short race cover bench bench-kernel experiments paper fmt vet check clean
 
 all: check
 
@@ -25,6 +25,12 @@ cover:
 # One testing.B benchmark per paper figure plus kernel micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record the kernel-layer series: gf + kernel region benchmarks, 5 runs
+# each (best sample kept), ref-vs-tiled speedups -> BENCH_kernel.json.
+# Fails if any 128 KiB/8 MiB case drops below the 1.5x floor.
+bench-kernel:
+	$(GO) run ./cmd/benchkernel -count 5 -o BENCH_kernel.json
 
 # Regenerate the paper's figures at CI scale (minutes).
 experiments:

@@ -1,0 +1,221 @@
+// Command benchkernel records the kernel-layer benchmark series that
+// `make bench-kernel` tracks across PRs.
+//
+// It runs the gf and kernel region benchmarks -count times each, keeps
+// the best (minimum ns/op) sample per benchmark — the standard noise
+// filter on shared machines — and writes BENCH_kernel.json. For every
+// ref_*/tiled_* pair emitted by BenchmarkKernelRegions it also records
+// the speedup of the tiled+fused path over the pre-PR term-at-a-time
+// sweep, which is the number the PR's acceptance gate reads.
+//
+// Usage:
+//
+//	benchkernel [-count 5] [-benchtime 300ms] [-o BENCH_kernel.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type sample struct {
+	NsOp float64 `json:"ns_op"`
+	MBs  float64 `json:"mb_s,omitempty"`
+}
+
+type benchResult struct {
+	Name    string   `json:"name"`
+	Package string   `json:"package"`
+	Samples []sample `json:"samples"`
+	BestNs  float64  `json:"best_ns_op"`
+	BestMBs float64  `json:"best_mb_s,omitempty"`
+}
+
+type pair struct {
+	Case       string  `json:"case"` // e.g. "gf16_128KiB"
+	RefNsOp    float64 `json:"ref_ns_op"`
+	RefMBs     float64 `json:"ref_mb_s"`
+	TiledNsOp  float64 `json:"tiled_ns_op"`
+	TiledMBs   float64 `json:"tiled_mb_s"`
+	Speedup    float64 `json:"speedup"`
+	MeetsFloor bool    `json:"meets_1_5x"`
+}
+
+type report struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	CPU        string        `json:"cpu,omitempty"`
+	Count      int           `json:"count"`
+	BenchTime  string        `json:"benchtime"`
+	Pairs      []pair        `json:"kernel_regions_pairs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		count     = flag.Int("count", 5, "runs per benchmark (best sample kept)")
+		benchtime = flag.String("benchtime", "300ms", "go test -benchtime value")
+		out       = flag.String("o", "BENCH_kernel.json", "output file")
+	)
+	flag.Parse()
+
+	rep := report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Count:     *count,
+		BenchTime: *benchtime,
+	}
+	results := map[string]*benchResult{}
+	var order []string
+
+	for _, run := range []struct{ pkg, pattern string }{
+		{"./internal/gf", "BenchmarkMultXORs|BenchmarkMultiplierVsMultXORs"},
+		{"./internal/kernel", "BenchmarkKernelRegions|BenchmarkKernelProductChain"},
+	} {
+		fmt.Fprintf(os.Stderr, "benchkernel: %s -bench '%s' -count=%d\n", run.pkg, run.pattern, *count)
+		args := []string{
+			"test", "-run", "^$",
+			"-bench", run.pattern,
+			"-count", strconv.Itoa(*count),
+			"-benchtime", *benchtime,
+			run.pkg,
+		}
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchkernel: go %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(&buf)
+		for sc.Scan() {
+			line := sc.Text()
+			if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+				rep.CPU = cpu
+				continue
+			}
+			name, s, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			r := results[name]
+			if r == nil {
+				r = &benchResult{Name: name, Package: strings.TrimPrefix(run.pkg, "./")}
+				results[name] = r
+				order = append(order, name)
+			}
+			r.Samples = append(r.Samples, s)
+			if r.BestNs == 0 || s.NsOp < r.BestNs {
+				r.BestNs = s.NsOp
+			}
+			if s.MBs > r.BestMBs {
+				r.BestMBs = s.MBs
+			}
+		}
+	}
+
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, *results[name])
+	}
+	rep.Pairs = regionPairs(results)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernel: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernel: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-14s %12s %12s %9s\n", "case", "ref MB/s", "tiled MB/s", "speedup")
+	for _, p := range rep.Pairs {
+		fmt.Printf("%-14s %12.1f %12.1f %8.2fx\n", p.Case, p.RefMBs, p.TiledMBs, p.Speedup)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	for _, p := range rep.Pairs {
+		if strings.Contains(p.Case, "128KiB") || strings.Contains(p.Case, "8MiB") {
+			if !p.MeetsFloor {
+				fmt.Fprintf(os.Stderr, "benchkernel: %s speedup %.2fx below the 1.5x floor\n", p.Case, p.Speedup)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// parseBenchLine decodes one `go test -bench` result line:
+//
+//	BenchmarkKernelRegions/ref_gf8_4KiB-1   3270   101211 ns/op   647.52 MB/s
+//
+// The -P suffix (GOMAXPROCS) is stripped so counts merge across runs.
+func parseBenchLine(line string) (name string, s sample, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", sample{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsOp = v
+		case "MB/s":
+			s.MBs = v
+		}
+	}
+	return name, s, s.NsOp > 0
+}
+
+// regionPairs matches BenchmarkKernelRegions/ref_<case> with its
+// tiled_<case> partner and computes the speedup from best ns/op.
+func regionPairs(results map[string]*benchResult) []pair {
+	const prefix = "BenchmarkKernelRegions/"
+	var pairs []pair
+	for name, ref := range results {
+		c, ok := strings.CutPrefix(name, prefix+"ref_")
+		if !ok {
+			continue
+		}
+		tiled := results[prefix+"tiled_"+c]
+		if tiled == nil || ref.BestNs == 0 || tiled.BestNs == 0 {
+			continue
+		}
+		sp := ref.BestNs / tiled.BestNs
+		pairs = append(pairs, pair{
+			Case:       c,
+			RefNsOp:    ref.BestNs,
+			RefMBs:     ref.BestMBs,
+			TiledNsOp:  tiled.BestNs,
+			TiledMBs:   tiled.BestMBs,
+			Speedup:    sp,
+			MeetsFloor: sp >= 1.5,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Case < pairs[j].Case })
+	return pairs
+}

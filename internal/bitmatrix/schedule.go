@@ -1,7 +1,5 @@
 package bitmatrix
 
-import "sort"
-
 // Derivative scheduling (Plank's schedule-optimisation line of work,
 // e.g. CSHR): instead of computing every output packet as a fresh XOR
 // of its input packets, compute it as a delta from an already-computed
@@ -9,31 +7,149 @@ import "sort"
 // drops from |S_v| to |S_u Δ S_v| + 1. The greedy construction below is
 // a directed MST over the output rows (Prim's algorithm with the
 // "from scratch" cost as the virtual root edge).
+//
+// Before the MST runs, a common-subexpression pass hunts for input
+// *pairs* shared by three or more output rows and hoists each into a
+// temporary packet (Huang/Li-style XOR CSE): a pair appearing in k rows
+// costs 2k XORs inline but 2 + k through a temp, so every extraction
+// with k >= 3 saves k - 2 packet XORs, and extracted temps can
+// themselves pair up in later rounds. Optimize builds both programs and
+// keeps the cheaper, so adding CSE can never regress a schedule.
 
 // scheduledOp is one step of an optimised program.
 type scheduledOp struct {
 	dst     int   // output packet index
 	from    int   // -1: from scratch; else: start as a copy of output `from`
-	xorCols []int // input packets to XOR in
+	xorCols []int // source ids to XOR in (input packets, or temps at id >= inCount)
 }
 
 // Schedule is an optimised XOR program equivalent to a BitMatrix apply.
 type Schedule struct {
 	rows, cols, w int
-	ops           []scheduledOp
-	xors          int
+	inCount       int // cols * w; source ids >= inCount address temps
+	// temps[k] defines temporary packet (inCount + k) as the XOR of two
+	// earlier sources (inputs or lower-numbered temps), computed before
+	// the output ops run.
+	temps [][2]int
+	ops   []scheduledOp
+	xors  int
 }
 
-// Optimize builds a derivative schedule for the bit matrix.
+// Optimize builds a derivative schedule for the bit matrix: the better
+// of plain Prim and CSE-then-Prim.
 func (bm *BitMatrix) Optimize() *Schedule {
-	n := len(bm.schedule)
-	s := &Schedule{rows: bm.rows, cols: bm.cols, w: bm.w}
-
-	// Input sets per output row, as sorted slices (they already are).
-	sets := make([][]int, n)
-	for i := range sets {
-		sets[i] = bm.schedule[i]
+	plain := bm.prim(bm.schedule, nil)
+	if cse := bm.optimizeCSE(); cse != nil && cse.xors < plain.xors {
+		return cse
 	}
+	return plain
+}
+
+// optimizeCSE extracts shared input pairs into temps, then schedules
+// the rewritten rows. Returns nil when no pair clears the
+// profitability bar.
+func (bm *BitMatrix) optimizeCSE() *Schedule {
+	inCount := bm.cols * bm.w
+	// Deep-copy the row sets: extraction rewrites them in place, and
+	// bm.schedule must stay untouched for BitMatrix.Apply and for the
+	// plain-Prim arm.
+	sets := make([][]int, len(bm.schedule))
+	for i, s := range bm.schedule {
+		sets[i] = append([]int(nil), s...)
+	}
+	var temps [][2]int
+	// maxTemps bounds the greedy loop; each extraction shrinks the total
+	// set size by >= 1, so this is belt and braces, not a real limit.
+	maxTemps := bm.ones
+	for len(temps) < maxTemps {
+		a, b, freq := bestPair(sets)
+		// 2 XORs build the temp, each use saves 1: profitable iff freq >= 3.
+		if freq < 3 {
+			break
+		}
+		id := inCount + len(temps)
+		temps = append(temps, [2]int{a, b})
+		for i, s := range sets {
+			if containsBoth(s, a, b) {
+				sets[i] = substitutePair(s, a, b, id)
+			}
+		}
+	}
+	if len(temps) == 0 {
+		return nil
+	}
+	s := bm.prim(sets, temps)
+	return s
+}
+
+// bestPair scans every row's source set for the pair occurring in the
+// most rows. O(Σ|set|²) over sets that shrink as extraction proceeds —
+// fine at the w <= 32, r*w <= a few hundred scale bit matrices have.
+func bestPair(sets [][]int) (a, b, freq int) {
+	counts := make(map[[2]int]int)
+	for _, s := range sets {
+		for i := 0; i < len(s); i++ {
+			for j := i + 1; j < len(s); j++ {
+				counts[[2]int{s[i], s[j]}]++
+			}
+		}
+	}
+	best := [2]int{-1, -1}
+	for p, c := range counts {
+		// Deterministic tie-break on the pair itself so schedules are
+		// reproducible run to run.
+		if c > freq || (c == freq && (p[0] < best[0] || (p[0] == best[0] && p[1] < best[1]))) {
+			best, freq = p, c
+		}
+	}
+	return best[0], best[1], freq
+}
+
+// containsBoth reports whether the sorted set holds both ids.
+func containsBoth(s []int, a, b int) bool {
+	na, nb := false, false
+	for _, x := range s {
+		if x == a {
+			na = true
+		} else if x == b {
+			nb = true
+		}
+	}
+	return na && nb
+}
+
+// substitutePair removes a and b from the sorted set and inserts id,
+// keeping the set sorted.
+func substitutePair(s []int, a, b, id int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != a && x != b {
+			out = append(out, x)
+		}
+	}
+	i := len(out)
+	out = append(out, id)
+	for i > 0 && out[i-1] > id {
+		out[i], out[i-1] = out[i-1], out[i]
+		i--
+	}
+	return out
+}
+
+// prim runs the derivative-MST construction over the given row sets
+// (which may reference temps) and assembles the schedule. Each temp
+// costs 2 XORs (a copy plus an XOR) on top of the MST's own count.
+func (bm *BitMatrix) prim(rowSets [][]int, temps [][2]int) *Schedule {
+	n := len(rowSets)
+	s := &Schedule{
+		rows:    bm.rows,
+		cols:    bm.cols,
+		w:       bm.w,
+		inCount: bm.cols * bm.w,
+		temps:   temps,
+		xors:    2 * len(temps),
+	}
+	sets := rowSets
 
 	// Prim over dense costs. cost(u->v) = |S_u Δ S_v| + 1 (the +1 is
 	// the initial copy/XOR of u into v); root cost = |S_v|.
@@ -57,8 +173,9 @@ func (bm *BitMatrix) Optimize() *Schedule {
 			break
 		}
 		inTree[v] = true
-		delta := append([]int(nil), symmetricDiff(sets[v], parentSet(sets, bestFrom[v]))...)
-		sort.Ints(delta)
+		// symmetricDiff merges two sorted lists, so delta is sorted and
+		// freshly allocated.
+		delta := symmetricDiff(sets[v], parentSet(sets, bestFrom[v]))
 		s.ops = append(s.ops, scheduledOp{dst: v, from: bestFrom[v], xorCols: delta})
 		s.xors += len(delta)
 		if bestFrom[v] >= 0 {
@@ -85,7 +202,7 @@ func parentSet(sets [][]int, from int) []int {
 	return sets[from]
 }
 
-// symmetricDiff of two sorted int slices.
+// symmetricDiff of two sorted int slices; the result is sorted.
 func symmetricDiff(a, b []int) []int {
 	var out []int
 	i, j := 0, 0
@@ -130,12 +247,35 @@ func diffSize(a, b []int) int {
 // unoptimised BitMatrix.Ones().
 func (s *Schedule) XORs() int { return s.xors }
 
+// Temps returns the number of common-subexpression temporaries the
+// schedule materialises per Apply.
+func (s *Schedule) Temps() int { return len(s.temps) }
+
+// source resolves a source id to its packet: an input, or a temp.
+func (s *Schedule) source(in, tmp [][]byte, id int) []byte {
+	if id < s.inCount {
+		return in[id]
+	}
+	return tmp[id-s.inCount]
+}
+
 // Apply runs the program: out = schedule(in), overwriting out. Unlike
 // BitMatrix.Apply it cannot accumulate, because derivative steps reuse
-// freshly-written outputs.
+// freshly-written outputs. A CSE schedule materialises its temporary
+// packets first; this back end exists for schedule-quality study, so
+// the temp buffers are plainly allocated per call rather than pooled.
 func (s *Schedule) Apply(in, out [][]byte) {
 	if len(in) != s.cols*s.w || len(out) != s.rows*s.w {
 		panic("bitmatrix: schedule shape mismatch")
+	}
+	var tmp [][]byte
+	if len(s.temps) > 0 {
+		tmp = AllocPackets(len(s.temps), len(in[0]))
+		for k, def := range s.temps {
+			dst := tmp[k]
+			copy(dst, s.source(in, tmp, def[0]))
+			xorBytes(dst, s.source(in, tmp, def[1]))
+		}
 	}
 	for _, op := range s.ops {
 		dst := out[op.dst]
@@ -147,7 +287,7 @@ func (s *Schedule) Apply(in, out [][]byte) {
 			}
 		}
 		for _, c := range op.xorCols {
-			xorBytes(dst, in[c])
+			xorBytes(dst, s.source(in, tmp, c))
 		}
 	}
 }

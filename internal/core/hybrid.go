@@ -26,7 +26,10 @@ func runSubDecodeChunked(sd *SubDecode, st *stripe.Stripe, field gf.Field, worke
 	if workers <= 1 {
 		return runSubDecode(sd, st, field, stats)
 	}
-	chunks := kernel.ChunkRanges(st.SectorSize(), workers, field.WordBytes())
+	// Tile-aligned chunk boundaries (when the range is large enough)
+	// keep the byte-range split composed with the kernel's cache
+	// blocking instead of shearing tiles across workers.
+	chunks := kernel.ChunkRangesAligned(st.SectorSize(), workers, field.WordBytes())
 	if len(chunks) <= 1 {
 		return runSubDecode(sd, st, field, stats)
 	}
@@ -39,11 +42,9 @@ func runSubDecodeChunked(sd *SubDecode, st *stripe.Stripe, field gf.Field, worke
 	in := st.Sectors(sd.SurvivorCols)
 	err = kernel.DefaultWorkers().Run(len(chunks), func(i int) error {
 		ch := chunks[i]
-		cin := kernel.SliceRegions(in, ch[0], ch[1])
-		cout := kernel.SliceRegions(out, ch[0], ch[1])
 		// Per-chunk stats are discarded; the logical operation count
 		// is added once below.
-		return applySubDecode(sd, field, cin, cout, nil)
+		return applySubDecodeRange(sd, field, in, out, ch[0], ch[1], nil)
 	})
 	if err != nil {
 		return err

@@ -151,3 +151,27 @@ func applySubDecode(sd *SubDecode, field gf.Field, in, out [][]byte, stats *kern
 	}
 	return nil
 }
+
+// applySubDecodeRange runs one sub-decode over the [lo, hi) byte
+// sub-range of the prepared views, serially — the per-chunk body of the
+// hybrid executor's byte-range fan-out. Compiled plans go through the
+// allocation-free tiled range product; the matrix fallback (only
+// hand-assembled sub-decodes in tests reach it) slices the views.
+func applySubDecodeRange(sd *SubDecode, field gf.Field, in, out [][]byte, lo, hi int, stats *kernel.Stats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sub-decode failed: %v", r)
+		}
+	}()
+	if verr := sd.validate(len(in), len(out)); verr != nil {
+		return verr
+	}
+	if sd.cG != nil || sd.cFinv != nil {
+		kernel.CompiledProductRange(sd.cFinv, sd.cS, sd.cG, in, out, nil, sd.Seq, lo, hi, stats)
+	} else {
+		cin := kernel.SliceRegions(in, lo, hi)
+		cout := kernel.SliceRegions(out, lo, hi)
+		kernel.Product(field, sd.Finv, sd.S, cin, cout, nil, sd.Seq, stats)
+	}
+	return nil
+}

@@ -59,31 +59,34 @@ func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, thr
 	if err != nil {
 		return fmt.Errorf("decode: %s cannot recover pattern %v: %w", c.Name(), sc.Faulty, err)
 	}
-	// For MatrixFirst the scalar product F^-1 * S is computed exactly
-	// once and shared by every chunk worker AND the stats count below —
-	// the serial baseline recomputed it per chunk plus once for stats.
+	// The matrices are compiled exactly once — into fused, table-bound
+	// row kernels shared by every chunk worker — so T threads pay one
+	// lowering, not T. For MatrixFirst the scalar product F^-1 * S is
+	// likewise computed once (the serial baseline recomputed it per
+	// chunk plus once for stats).
+	var cFinv, cS, cG *kernel.CompiledMatrix
 	var g *matrix.Matrix
 	if opts.Sequence == kernel.MatrixFirst {
 		g = finv.Mul(sM)
+		cG = kernel.Compile(c.Field(), g)
+	} else {
+		cFinv = kernel.Compile(c.Field(), finv)
+		cS = kernel.Compile(c.Field(), sM)
 	}
 
 	in := st.Sectors(sCols)
 	out := st.Sectors(fCols)
 
-	// Word-aligned chunk boundaries over the sector byte range, fanned
-	// out on the persistent worker pool. A failing chunk (lowest chunk
+	// Word-aligned (and, when the range is large enough, tile-aligned —
+	// so chunk splits compose with the kernel's cache blocking instead
+	// of shearing tiles across workers) chunk boundaries over the sector
+	// byte range, fanned out on the persistent worker pool. Each chunk
+	// runs the serial tiled range product; a failing chunk (lowest chunk
 	// index wins) aborts the decode with its error.
-	chunks := kernel.ChunkRanges(st.SectorSize(), threads, c.Field().WordBytes())
+	chunks := kernel.ChunkRangesAligned(st.SectorSize(), threads, c.Field().WordBytes())
 	err = kernel.DefaultWorkers().Run(len(chunks), func(i int) error {
 		ch := chunks[i]
-		cin := kernel.SliceRegions(in, ch[0], ch[1])
-		cout := kernel.SliceRegions(out, ch[0], ch[1])
-		if g != nil {
-			kernel.Zero(cout)
-			kernel.Apply(c.Field(), g, cin, cout, nil)
-		} else {
-			kernel.Product(c.Field(), finv, sM, cin, cout, nil, opts.Sequence, nil)
-		}
+		kernel.CompiledProductRange(cFinv, cS, cG, in, out, nil, opts.Sequence, ch[0], ch[1], nil)
 		return nil
 	})
 	if err != nil {

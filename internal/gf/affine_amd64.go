@@ -1,0 +1,10 @@
+//go:build amd64
+
+package gf
+
+// Assembly region kernels (affine_amd64.s). n must be positive and a
+// multiple of 64; callers peel the sub-64-byte tail onto the portable
+// kernels.
+func gf8AffineXorAsm(dst, src *byte, n int, mat uint64)
+func gf16AffineXorAsm(dst, src *byte, n int, mats *[2][8]uint64)
+func gf32AffineXorAsm(dst, src *byte, n int, mats *[4][8]uint64)

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package gf
+
+import "os"
+
+// affineSupported reports hardware support for the GF2P8AFFINEQB
+// region kernels: GFNI plus the AVX-512 subsets they use (F for the
+// 512-bit forms, BW/VBMI for VPERMB) and an OS that saves the full
+// ZMM + opmask state.
+var affineSupported = detectAffine()
+
+// useAffine gates the affine kernels at run time. PPM_NO_GFNI=1 forces
+// the portable table kernels, which is how the differential tests
+// exercise both paths on capable hardware.
+var useAffine = affineSupported && os.Getenv("PPM_NO_GFNI") == ""
+
+// cpuidex and xgetbv0 are implemented in cpu_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func detectAffine() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&(1<<27) == 0 { // OSXSAVE: XGETBV available and OS uses XSAVE
+		return false
+	}
+	_, ebx, ecx, _ := cpuidex(7, 0)
+	const (
+		avx512f  = 1 << 16
+		avx512bw = 1 << 30
+	)
+	if ebx&avx512f == 0 || ebx&avx512bw == 0 {
+		return false
+	}
+	const (
+		avx512vbmi = 1 << 1
+		gfni       = 1 << 8
+	)
+	if ecx&avx512vbmi == 0 || ecx&gfni == 0 {
+		return false
+	}
+	// XCR0: SSE (1), AVX (2), opmask (5), ZMM0-15 high halves (6),
+	// ZMM16-31 (7) must all be OS-enabled.
+	xlo, _ := xgetbv0()
+	return xlo&0xE6 == 0xE6
+}

@@ -1,0 +1,539 @@
+package gf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fused region kernels: apply a whole row of coefficients in one pass.
+//
+// The paper's cost unit is the single-term region operation
+// mult_XORs(dst, src, a), and every figure counts those. But executing a
+// row of r nonzero coefficients as r independent MultXORs calls loads
+// and stores the destination region r times — at multi-megabyte region
+// sizes the destination traffic dominates. The fused form streams each
+// 64-bit word of dst through *all* of the row's coefficients before
+// storing it, so dst is read and written once per row:
+//
+//	dst traffic:  2*r region passes  ->  2 region passes
+//	src traffic:  r passes (unchanged)
+//
+// This is the operation-fusion idea of Uezato ("Accelerating XOR-based
+// Erasure Coding using Program Optimization Techniques", SC'21) applied
+// to the table-driven GF kernels. The logical mult_XORs count is
+// unchanged: one fused row pass performs exactly the same r region
+// operations, and the kernel's Stats still count r.
+//
+// Two entry points:
+//
+//   - Field.MultXORsMulti(dst, srcs, consts): resolves each constant's
+//     lookup tables on the fly (memoized per field, so resolution is a
+//     cache hit after first use). Zero constants are skipped.
+//   - CompileRow(f, consts): pre-resolves the tables once, for plans
+//     that apply the same row thousands of times. The returned RowKernel
+//     is immutable and safe for concurrent use.
+//
+// Both batch terms in groups of maxFusedTerms so the per-term table
+// pointers live in fixed-size stack arrays — no per-call allocation.
+
+// maxFusedTerms is the batch width of the fused loops: a row with more
+// nonzero terms reloads dst once per batch, which still divides the
+// destination traffic by up to maxFusedTerms compared with the
+// term-at-a-time path.
+const maxFusedTerms = 16
+
+// RowKernel is a row of coefficients compiled against its lookup
+// tables: MultXOR computes dst[i] ^= Σ_k consts[k] * srcs[k][i] with
+// every table resolved at compile time. A RowKernel is immutable and
+// safe for concurrent use.
+type RowKernel interface {
+	// Terms returns the number of nonzero coefficients the row applies —
+	// the mult_XORs cost of one MultXOR call.
+	Terms() int
+	// MultXOR applies the row: dst[i] ^= Σ_k a_k * srcs[k][i].
+	// len(srcs) must equal the length of the consts slice the row was
+	// compiled from; sources at zero-coefficient positions are ignored
+	// (and may be nil).
+	MultXOR(dst []byte, srcs [][]byte)
+}
+
+// CompileRow lowers one coefficient row over the field. Zero constants
+// are skipped at compile time; the fused apply touches only the nonzero
+// positions of srcs.
+func CompileRow(f Field, consts []uint32) RowKernel {
+	switch ff := f.(type) {
+	case *field8:
+		r := &rowKernel8{n: len(consts)}
+		for j, a := range consts {
+			a &= 0xFF
+			switch {
+			case a == 0:
+			case a == 1:
+				r.terms = append(r.terms, term8{idx: j})
+			default:
+				m := &ff.muls[a]
+				r.terms = append(r.terms, term8{idx: j, row: m.row, aff: m.aff})
+			}
+		}
+		return r
+	case *field16:
+		r := &rowKernel16{n: len(consts)}
+		for j, a := range consts {
+			a &= 0xFFFF
+			switch {
+			case a == 0:
+			case a == 1:
+				r.terms = append(r.terms, term16{idx: j})
+			default:
+				m := ff.multiplier(a)
+				r.terms = append(r.terms, term16{idx: j, t: m.t, aff: m.aff})
+			}
+		}
+		return r
+	case field32:
+		r := &rowKernel32{n: len(consts)}
+		for j, a := range consts {
+			switch {
+			case a == 0:
+			case a == 1:
+				r.terms = append(r.terms, term32{idx: j})
+			default:
+				m := ff.multiplier(a)
+				r.terms = append(r.terms, term32{idx: j, t: m.t, aff: m.aff})
+			}
+		}
+		return r
+	default:
+		// Unknown Field implementation: term-at-a-time fallback.
+		r := &rowKernelGeneric{f: f, n: len(consts)}
+		for j, a := range consts {
+			if a != 0 {
+				r.idx = append(r.idx, j)
+				r.consts = append(r.consts, a)
+			}
+		}
+		return r
+	}
+}
+
+// checkFused validates the srcs/consts pairing shared by the fused
+// entry points.
+func checkFused(nsrcs, nconsts int) {
+	if nsrcs != nconsts {
+		panic(fmt.Sprintf("gf: fused row has %d sources for %d coefficients", nsrcs, nconsts))
+	}
+}
+
+// --- GF(2^8) ---
+
+type term8 struct {
+	idx int
+	row []uint8 // nil: coefficient 1 (plain XOR)
+	aff uint64  // affine matrix for the constant
+}
+
+type rowKernel8 struct {
+	terms []term8
+	n     int
+}
+
+func (r *rowKernel8) Terms() int { return len(r.terms) }
+
+func (r *rowKernel8) MultXOR(dst []byte, srcs [][]byte) {
+	checkFused(len(srcs), r.n)
+	var xs, ts [maxFusedTerms][]byte
+	var rows [maxFusedTerms][]uint8
+	var affs [maxFusedTerms]uint64
+	for i := 0; i < len(r.terms); {
+		nx, nt := 0, 0
+		for ; i < len(r.terms) && nx+nt < maxFusedTerms; i++ {
+			t := r.terms[i]
+			s := srcs[t.idx]
+			checkRegions(dst, s, 1)
+			if t.row == nil {
+				xs[nx] = s
+				nx++
+			} else {
+				ts[nt] = s
+				rows[nt] = t.row
+				affs[nt] = t.aff
+				nt++
+			}
+		}
+		fuse8(dst, xs[:nx], ts[:nt], rows[:nt], affs[:nt])
+	}
+}
+
+func (f *field8) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
+	checkFused(len(srcs), len(consts))
+	var xs, ts [maxFusedTerms][]byte
+	var rows [maxFusedTerms][]uint8
+	var affs [maxFusedTerms]uint64
+	for j := 0; j < len(consts); {
+		nx, nt := 0, 0
+		for ; j < len(consts) && nx+nt < maxFusedTerms; j++ {
+			a := consts[j] & 0xFF
+			if a == 0 {
+				continue
+			}
+			s := srcs[j]
+			checkRegions(dst, s, 1)
+			if a == 1 {
+				xs[nx] = s
+				nx++
+			} else {
+				m := &f.muls[a]
+				ts[nt] = s
+				rows[nt] = m.row
+				affs[nt] = m.aff
+				nt++
+			}
+		}
+		fuse8(dst, xs[:nx], ts[:nt], rows[:nt], affs[:nt])
+	}
+}
+
+// fuse8 applies one batch of GF(2^8) terms. With the affine kernels
+// available, multiplied terms run one GF2P8AFFINEQB sweep each over the
+// 64-byte-aligned prefix — inside the cache-blocked drivers dst stays
+// resident across those sweeps — and the table core handles the tail
+// plus the fused coefficient-1 XOR pass.
+func fuse8(dst []byte, xs, ts [][]byte, rows [][]uint8, affs []uint64) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	if useAffine && len(dst) >= 64 && len(ts) > 0 {
+		n64 := len(dst) &^ 63
+		for k, s := range ts {
+			gf8AffineXorAsm(&dst[0], &s[0], n64, affs[k])
+		}
+		if n64 < len(dst) {
+			for k := range ts {
+				ts[k] = ts[k][n64:]
+			}
+			fuse8Tables(dst[n64:], nil, ts, rows)
+		}
+		if len(xs) > 0 {
+			fuse8Tables(dst, xs, nil, nil)
+		}
+		return
+	}
+	fuse8Tables(dst, xs, ts, rows)
+}
+
+// fuse8Tables is the portable GF(2^8) fused core:
+// dst ^= Σ xs[k] ^ Σ rows[k][ts[k]], eight bytes per destination
+// load/store, scalar tail for the last len(dst) % 8 bytes.
+func fuse8Tables(dst []byte, xs, ts [][]byte, rows [][]uint8) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		acc := binary.LittleEndian.Uint64(dst[i:])
+		for _, s := range xs {
+			acc ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		for k, s := range ts {
+			row := rows[k]
+			v := binary.LittleEndian.Uint64(s[i:])
+			acc ^= uint64(row[v&0xFF]) |
+				uint64(row[v>>8&0xFF])<<8 |
+				uint64(row[v>>16&0xFF])<<16 |
+				uint64(row[v>>24&0xFF])<<24 |
+				uint64(row[v>>32&0xFF])<<32 |
+				uint64(row[v>>40&0xFF])<<40 |
+				uint64(row[v>>48&0xFF])<<48 |
+				uint64(row[v>>56])<<56
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for i := n; i < len(dst); i++ {
+		b := dst[i]
+		for _, s := range xs {
+			b ^= s[i]
+		}
+		for k, s := range ts {
+			b ^= rows[k][s[i]]
+		}
+		dst[i] = b
+	}
+}
+
+// --- GF(2^16) ---
+
+type term16 struct {
+	idx int
+	t   *[2][256]uint16 // nil: coefficient 1
+	aff *[2][8]uint64
+}
+
+type rowKernel16 struct {
+	terms []term16
+	n     int
+}
+
+func (r *rowKernel16) Terms() int { return len(r.terms) }
+
+func (r *rowKernel16) MultXOR(dst []byte, srcs [][]byte) {
+	checkFused(len(srcs), r.n)
+	var xs, ts [maxFusedTerms][]byte
+	var tabs [maxFusedTerms]*[2][256]uint16
+	var affs [maxFusedTerms]*[2][8]uint64
+	for i := 0; i < len(r.terms); {
+		nx, nt := 0, 0
+		for ; i < len(r.terms) && nx+nt < maxFusedTerms; i++ {
+			t := r.terms[i]
+			s := srcs[t.idx]
+			checkRegions(dst, s, 2)
+			if t.t == nil {
+				xs[nx] = s
+				nx++
+			} else {
+				ts[nt] = s
+				tabs[nt] = t.t
+				affs[nt] = t.aff
+				nt++
+			}
+		}
+		fuse16(dst, xs[:nx], ts[:nt], tabs[:nt], affs[:nt])
+	}
+}
+
+func (f *field16) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
+	checkFused(len(srcs), len(consts))
+	var xs, ts [maxFusedTerms][]byte
+	var tabs [maxFusedTerms]*[2][256]uint16
+	var affs [maxFusedTerms]*[2][8]uint64
+	for j := 0; j < len(consts); {
+		nx, nt := 0, 0
+		for ; j < len(consts) && nx+nt < maxFusedTerms; j++ {
+			a := consts[j] & 0xFFFF
+			if a == 0 {
+				continue
+			}
+			s := srcs[j]
+			checkRegions(dst, s, 2)
+			if a == 1 {
+				xs[nx] = s
+				nx++
+			} else {
+				m := f.multiplier(a)
+				ts[nt] = s
+				tabs[nt] = m.t
+				affs[nt] = m.aff
+				nt++
+			}
+		}
+		fuse16(dst, xs[:nx], ts[:nt], tabs[:nt], affs[:nt])
+	}
+}
+
+// fuse16 applies one batch of GF(2^16) terms, preferring the planar
+// affine kernel for multiplied terms (see fuse8 for the structure).
+func fuse16(dst []byte, xs, ts [][]byte, tabs []*[2][256]uint16, affs []*[2][8]uint64) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	if useAffine && len(dst) >= 64 && len(ts) > 0 {
+		n64 := len(dst) &^ 63
+		for k, s := range ts {
+			gf16AffineXorAsm(&dst[0], &s[0], n64, affs[k])
+		}
+		if n64 < len(dst) {
+			for k := range ts {
+				ts[k] = ts[k][n64:]
+			}
+			fuse16Tables(dst[n64:], nil, ts, tabs)
+		}
+		if len(xs) > 0 {
+			fuse16Tables(dst, xs, nil, nil)
+		}
+		return
+	}
+	fuse16Tables(dst, xs, ts, tabs)
+}
+
+// fuse16Tables is the portable GF(2^16) fused core: four 16-bit
+// symbols per destination load/store, scalar 2-byte-word tail for
+// region lengths that are not a multiple of 8.
+func fuse16Tables(dst []byte, xs, ts [][]byte, tabs []*[2][256]uint16) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		acc := binary.LittleEndian.Uint64(dst[i:])
+		for _, s := range xs {
+			acc ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		for k, s := range ts {
+			t := tabs[k]
+			v := binary.LittleEndian.Uint64(s[i:])
+			acc ^= uint64(t[0][v&0xFF]^t[1][v>>8&0xFF]) |
+				uint64(t[0][v>>16&0xFF]^t[1][v>>24&0xFF])<<16 |
+				uint64(t[0][v>>32&0xFF]^t[1][v>>40&0xFF])<<32 |
+				uint64(t[0][v>>48&0xFF]^t[1][v>>56])<<48
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for i := n; i+2 <= len(dst); i += 2 {
+		w := binary.LittleEndian.Uint16(dst[i:])
+		for _, s := range xs {
+			w ^= binary.LittleEndian.Uint16(s[i:])
+		}
+		for k, s := range ts {
+			t := tabs[k]
+			v := binary.LittleEndian.Uint16(s[i:])
+			w ^= t[0][v&0xFF] ^ t[1][v>>8]
+		}
+		binary.LittleEndian.PutUint16(dst[i:], w)
+	}
+}
+
+// --- GF(2^32) ---
+
+type term32 struct {
+	idx int
+	t   *[4][256]uint32 // nil: coefficient 1
+	aff *[4][8]uint64
+}
+
+type rowKernel32 struct {
+	terms []term32
+	n     int
+}
+
+func (r *rowKernel32) Terms() int { return len(r.terms) }
+
+func (r *rowKernel32) MultXOR(dst []byte, srcs [][]byte) {
+	checkFused(len(srcs), r.n)
+	var xs, ts [maxFusedTerms][]byte
+	var tabs [maxFusedTerms]*[4][256]uint32
+	var affs [maxFusedTerms]*[4][8]uint64
+	for i := 0; i < len(r.terms); {
+		nx, nt := 0, 0
+		for ; i < len(r.terms) && nx+nt < maxFusedTerms; i++ {
+			t := r.terms[i]
+			s := srcs[t.idx]
+			checkRegions(dst, s, 4)
+			if t.t == nil {
+				xs[nx] = s
+				nx++
+			} else {
+				ts[nt] = s
+				tabs[nt] = t.t
+				affs[nt] = t.aff
+				nt++
+			}
+		}
+		fuse32(dst, xs[:nx], ts[:nt], tabs[:nt], affs[:nt])
+	}
+}
+
+func (f field32) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
+	checkFused(len(srcs), len(consts))
+	var xs, ts [maxFusedTerms][]byte
+	var tabs [maxFusedTerms]*[4][256]uint32
+	var affs [maxFusedTerms]*[4][8]uint64
+	for j := 0; j < len(consts); {
+		nx, nt := 0, 0
+		for ; j < len(consts) && nx+nt < maxFusedTerms; j++ {
+			a := consts[j]
+			if a == 0 {
+				continue
+			}
+			s := srcs[j]
+			checkRegions(dst, s, 4)
+			if a == 1 {
+				xs[nx] = s
+				nx++
+			} else {
+				m := f.multiplier(a)
+				ts[nt] = s
+				tabs[nt] = m.t
+				affs[nt] = m.aff
+				nt++
+			}
+		}
+		fuse32(dst, xs[:nx], ts[:nt], tabs[:nt], affs[:nt])
+	}
+}
+
+// fuse32 applies one batch of GF(2^32) terms, preferring the planar
+// affine kernel for multiplied terms (see fuse8 for the structure).
+func fuse32(dst []byte, xs, ts [][]byte, tabs []*[4][256]uint32, affs []*[4][8]uint64) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	if useAffine && len(dst) >= 64 && len(ts) > 0 {
+		n64 := len(dst) &^ 63
+		for k, s := range ts {
+			gf32AffineXorAsm(&dst[0], &s[0], n64, affs[k])
+		}
+		if n64 < len(dst) {
+			for k := range ts {
+				ts[k] = ts[k][n64:]
+			}
+			fuse32Tables(dst[n64:], nil, ts, tabs)
+		}
+		if len(xs) > 0 {
+			fuse32Tables(dst, xs, nil, nil)
+		}
+		return
+	}
+	fuse32Tables(dst, xs, ts, tabs)
+}
+
+// fuse32Tables is the portable GF(2^32) fused core: two 32-bit symbols
+// per destination load/store, scalar 4-byte-word tail.
+func fuse32Tables(dst []byte, xs, ts [][]byte, tabs []*[4][256]uint32) {
+	if len(xs) == 0 && len(ts) == 0 {
+		return
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		acc := binary.LittleEndian.Uint64(dst[i:])
+		for _, s := range xs {
+			acc ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		for k, s := range ts {
+			t := tabs[k]
+			v := binary.LittleEndian.Uint64(s[i:])
+			lo := t[0][v&0xFF] ^ t[1][v>>8&0xFF] ^ t[2][v>>16&0xFF] ^ t[3][v>>24&0xFF]
+			hi := t[0][v>>32&0xFF] ^ t[1][v>>40&0xFF] ^ t[2][v>>48&0xFF] ^ t[3][v>>56]
+			acc ^= uint64(lo) | uint64(hi)<<32
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for i := n; i+4 <= len(dst); i += 4 {
+		w := binary.LittleEndian.Uint32(dst[i:])
+		for _, s := range xs {
+			w ^= binary.LittleEndian.Uint32(s[i:])
+		}
+		for k, s := range ts {
+			t := tabs[k]
+			v := binary.LittleEndian.Uint32(s[i:])
+			w ^= t[0][v&0xFF] ^ t[1][(v>>8)&0xFF] ^ t[2][(v>>16)&0xFF] ^ t[3][v>>24]
+		}
+		binary.LittleEndian.PutUint32(dst[i:], w)
+	}
+}
+
+// --- generic fallback ---
+
+type rowKernelGeneric struct {
+	f      Field
+	idx    []int
+	consts []uint32
+	n      int
+}
+
+func (r *rowKernelGeneric) Terms() int { return len(r.idx) }
+
+func (r *rowKernelGeneric) MultXOR(dst []byte, srcs [][]byte) {
+	checkFused(len(srcs), r.n)
+	for k, j := range r.idx {
+		r.f.MultXORs(dst, srcs[j], r.consts[k])
+	}
+}

@@ -1,6 +1,10 @@
 package gf
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
 
 // GF(2^16) with polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
 //
@@ -74,15 +78,51 @@ func (f *field16) Exp(a uint32, n int) uint32 {
 }
 
 // splitTables16 builds the two per-constant lookup tables:
-// lo[b] = a * b, hi[b] = a * (b << 8). The 512 scalar multiplies
+// t[0][b] = a * b, t[1][b] = a * (b << 8). The 512 scalar multiplies
 // amortise over region sizes of hundreds of bytes and up, which is the
 // regime the paper measures (sectors are >= 512 bytes, §II-B footnote).
-func (f *field16) splitTables16(a uint32) (lo, hi [256]uint16) {
+func (f *field16) splitTables16(a uint32) *[2][256]uint16 {
+	t := new([2][256]uint16)
 	for b := 1; b < 256; b++ {
-		lo[b] = uint16(f.Mul(a, uint32(b)))
-		hi[b] = uint16(f.Mul(a, uint32(b)<<8))
+		t[0][b] = uint16(f.Mul(a, uint32(b)))
+		t[1][b] = uint16(f.Mul(a, uint32(b)<<8))
 	}
-	return lo, hi
+	return t
+}
+
+// A decode touches only the handful of constants its matrices hold, so
+// the split tables are memoized per constant exactly like GF(2^32)'s:
+// the first region op for a constant pays the 512 scalar multiplies,
+// every later MultXORs / MultiplierFor / fused-row compile shares the
+// same immutable multiplier. Bounded at maxTables16 distinct constants
+// (1 KiB each); past the bound further tables are built per call
+// without being retained.
+const maxTables16 = 4096
+
+var (
+	mults16      sync.Map // uint32 -> *multiplier16, read-only once stored
+	mults16Count atomic.Int32
+)
+
+// multiplier returns the memoized bound multiplier for a (a > 1).
+func (f *field16) multiplier(a uint32) *multiplier16 {
+	if v, ok := mults16.Load(a); ok {
+		return v.(*multiplier16)
+	}
+	m := &multiplier16{a: a, t: f.splitTables16(a), aff: affineMats16(f, a)}
+	if mults16Count.Load() >= maxTables16 {
+		return m
+	}
+	if v, loaded := mults16.LoadOrStore(a, m); loaded {
+		return v.(*multiplier16)
+	}
+	mults16Count.Add(1)
+	return m
+}
+
+// tables16 returns the memoized split tables for a (a > 1).
+func (f *field16) tables16(a uint32) *[2][256]uint16 {
+	return f.multiplier(a).t
 }
 
 func (f *field16) MultXORs(dst, src []byte, a uint32) {
@@ -94,12 +134,7 @@ func (f *field16) MultXORs(dst, src []byte, a uint32) {
 		xorRegion(dst, src)
 		return
 	}
-	lo, hi := f.splitTables16(a)
-	for i := 0; i+2 <= len(dst); i += 2 {
-		w := binary.LittleEndian.Uint16(src[i:])
-		p := lo[w&0xFF] ^ hi[w>>8]
-		binary.LittleEndian.PutUint16(dst[i:], binary.LittleEndian.Uint16(dst[i:])^p)
-	}
+	f.multiplier(a&0xFFFF).MultXOR(dst, src)
 }
 
 func (f *field16) MulRegion(dst, src []byte, a uint32) {
@@ -112,9 +147,9 @@ func (f *field16) MulRegion(dst, src []byte, a uint32) {
 		copyRegion(dst, src)
 		return
 	}
-	lo, hi := f.splitTables16(a)
+	t := f.tables16(a & 0xFFFF)
 	for i := 0; i+2 <= len(dst); i += 2 {
 		w := binary.LittleEndian.Uint16(src[i:])
-		binary.LittleEndian.PutUint16(dst[i:], lo[w&0xFF]^hi[w>>8])
+		binary.LittleEndian.PutUint16(dst[i:], t[0][w&0xFF]^t[1][w>>8])
 	}
 }

@@ -107,35 +107,41 @@ func (f field32) splitTables32(a uint32) *[4][256]uint32 {
 }
 
 // No log table fits in memory at w=32, but a decode touches only the
-// handful of constants its matrices hold, so the split tables are
-// memoized per constant: the first region op for a constant pays the
-// 1024 scalar multiplies, every later MultXORs/MulRegion call — and
-// every MultiplierFor — shares the same immutable tables. The memo is
-// bounded: past maxTables32 distinct constants (4 KiB each), further
-// tables are built per call without being retained, so adversarial
-// constant churn cannot grow memory without bound.
+// handful of constants its matrices hold, so the bound multiplier (and
+// its split tables) is memoized per constant: the first region op for a
+// constant pays the 1024 scalar multiplies, every later
+// MultXORs/MulRegion call — and every MultiplierFor and fused-row
+// compile — shares the same immutable multiplier. The memo is bounded:
+// past maxTables32 distinct constants (4 KiB each), further tables are
+// built per call without being retained, so adversarial constant churn
+// cannot grow memory without bound.
 const maxTables32 = 4096
 
 var (
-	tables32      sync.Map // uint32 -> *[4][256]uint32, read-only once stored
-	tables32Count atomic.Int32
+	mults32      sync.Map // uint32 -> *multiplier32, read-only once stored
+	mults32Count atomic.Int32
 )
+
+// multiplier returns the memoized bound multiplier for a (a > 1).
+func (f field32) multiplier(a uint32) *multiplier32 {
+	if v, ok := mults32.Load(a); ok {
+		return v.(*multiplier32)
+	}
+	m := &multiplier32{a: a, t: f.splitTables32(a), aff: affineMats32(f, a)}
+	if mults32Count.Load() >= maxTables32 {
+		return m
+	}
+	if v, loaded := mults32.LoadOrStore(a, m); loaded {
+		return v.(*multiplier32)
+	}
+	mults32Count.Add(1)
+	return m
+}
 
 // tables returns the memoized split tables for a, building them on
 // first use.
 func (f field32) tables(a uint32) *[4][256]uint32 {
-	if v, ok := tables32.Load(a); ok {
-		return v.(*[4][256]uint32)
-	}
-	t := f.splitTables32(a)
-	if tables32Count.Load() >= maxTables32 {
-		return t
-	}
-	if v, loaded := tables32.LoadOrStore(a, t); loaded {
-		return v.(*[4][256]uint32)
-	}
-	tables32Count.Add(1)
-	return t
+	return f.multiplier(a).t
 }
 
 // multXOR32 is the region loop over prebuilt tables: dst[i] ^= a*src[i].

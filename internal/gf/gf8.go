@@ -16,6 +16,7 @@ type field8 struct {
 	log  [256]uint16 // log[0] unused
 	exp  [512]uint8  // doubled to skip the mod (255) in Mul
 	prod []uint8     // 256*256 flat product table, prod[a<<8|b] = a*b
+	muls [256]multiplier8
 }
 
 func newField8() *field8 {
@@ -35,6 +36,16 @@ func newField8() *field8 {
 		la := f.log[a]
 		for b := 1; b < 256; b++ {
 			row[b] = f.exp[la+f.log[b]]
+		}
+	}
+	// All 256 bound multipliers exist up front (each is just a header
+	// over the product table plus its affine matrix), so MultiplierFor
+	// never allocates at w=8.
+	for a := 2; a < 256; a++ {
+		f.muls[a] = multiplier8{
+			a:   uint32(a),
+			row: f.prod[a<<8 : a<<8+256],
+			aff: affineMat8(f, uint32(a)),
 		}
 	}
 	return f

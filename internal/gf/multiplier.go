@@ -9,6 +9,10 @@ import "encoding/binary"
 // decodes — and even a single decode whose matrix repeats coefficients,
 // like SD's all-ones rows — amortise table construction.
 //
+// MultiplierFor is memoized per field (eagerly for GF(2^8), in bounded
+// per-constant caches for GF(2^16) and GF(2^32)), so calling it in a
+// hot path costs a cache lookup, not a table build or an allocation.
+//
 // A Multiplier is immutable and safe for concurrent use.
 type Multiplier interface {
 	// Coefficient returns the bound constant.
@@ -18,32 +22,37 @@ type Multiplier interface {
 	MultXOR(dst, src []byte)
 }
 
+// Shared a <= 1 multipliers, one per word size, so the trivial cases
+// never allocate an interface box.
+var trivialMults = [3][2]Multiplier{
+	{trivialMultiplier{a: 0, wb: 1}, trivialMultiplier{a: 1, wb: 1}},
+	{trivialMultiplier{a: 0, wb: 2}, trivialMultiplier{a: 1, wb: 2}},
+	{trivialMultiplier{a: 0, wb: 4}, trivialMultiplier{a: 1, wb: 4}},
+}
+
 // MultiplierFor returns a Multiplier bound to the constant a in the
-// given field.
+// given field. Equal (field, constant) pairs share one multiplier
+// while the per-field memo has capacity, so pointer comparison can be
+// used to confirm sharing in tests.
 func MultiplierFor(f Field, a uint32) Multiplier {
 	switch ff := f.(type) {
 	case *field8:
 		a &= 0xFF
 		if a <= 1 {
-			return trivialMultiplier{a: a, wb: 1}
+			return trivialMults[0][a]
 		}
-		return &multiplier8{a: a, row: ff.prod[a<<8 : a<<8+256]}
+		return &ff.muls[a]
 	case *field16:
 		a &= 0xFFFF
 		if a <= 1 {
-			return trivialMultiplier{a: a, wb: 2}
+			return trivialMults[1][a]
 		}
-		m := &multiplier16{a: a}
-		m.lo, m.hi = ff.splitTables16(a)
-		return m
+		return ff.multiplier(a)
 	case field32:
 		if a <= 1 {
-			return trivialMultiplier{a: a, wb: 4}
+			return trivialMults[2][a]
 		}
-		// Shares the field's memoized tables: compiling a plan that
-		// repeats a constant — or recompiling across plans — never
-		// rebuilds them.
-		return &multiplier32{a: a, t: ff.tables(a)}
+		return ff.multiplier(a)
 	default:
 		// Unknown Field implementation: fall back to the generic call.
 		return genericMultiplier{f: f, a: a}
@@ -69,12 +78,21 @@ func (m trivialMultiplier) MultXOR(dst, src []byte) {
 type multiplier8 struct {
 	a   uint32
 	row []uint8
+	aff uint64
 }
 
 func (m *multiplier8) Coefficient() uint32 { return m.a }
 
 func (m *multiplier8) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 1)
+	if useAffine && len(dst) >= 64 {
+		n64 := len(dst) &^ 63
+		gf8AffineXorAsm(&dst[0], &src[0], n64, m.aff)
+		if n64 == len(dst) {
+			return
+		}
+		dst, src = dst[n64:], src[n64:]
+	}
 	row := m.row
 	n := len(dst) &^ 3
 	for i := 0; i < n; i += 4 {
@@ -91,40 +109,59 @@ func (m *multiplier8) MultXOR(dst, src []byte) {
 }
 
 type multiplier16 struct {
-	a      uint32
-	lo, hi [256]uint16
+	a   uint32
+	t   *[2][256]uint16
+	aff *[2][8]uint64
 }
 
 func (m *multiplier16) Coefficient() uint32 { return m.a }
 
 func (m *multiplier16) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 2)
+	if useAffine && len(dst) >= 64 {
+		n64 := len(dst) &^ 63
+		gf16AffineXorAsm(&dst[0], &src[0], n64, m.aff)
+		if n64 == len(dst) {
+			return
+		}
+		dst, src = dst[n64:], src[n64:]
+	}
+	t := m.t
 	// Main loop: four 16-bit symbols per 64-bit load/store.
 	n := len(dst) &^ 7
 	for i := 0; i < n; i += 8 {
 		s := binary.LittleEndian.Uint64(src[i:])
-		p := uint64(m.lo[s&0xFF]^m.hi[s>>8&0xFF]) |
-			uint64(m.lo[s>>16&0xFF]^m.hi[s>>24&0xFF])<<16 |
-			uint64(m.lo[s>>32&0xFF]^m.hi[s>>40&0xFF])<<32 |
-			uint64(m.lo[s>>48&0xFF]^m.hi[s>>56])<<48
+		p := uint64(t[0][s&0xFF]^t[1][s>>8&0xFF]) |
+			uint64(t[0][s>>16&0xFF]^t[1][s>>24&0xFF])<<16 |
+			uint64(t[0][s>>32&0xFF]^t[1][s>>40&0xFF])<<32 |
+			uint64(t[0][s>>48&0xFF]^t[1][s>>56])<<48
 		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
 	}
 	for i := n; i+2 <= len(dst); i += 2 {
 		w := binary.LittleEndian.Uint16(src[i:])
-		p := m.lo[w&0xFF] ^ m.hi[w>>8]
+		p := t[0][w&0xFF] ^ t[1][w>>8]
 		binary.LittleEndian.PutUint16(dst[i:], binary.LittleEndian.Uint16(dst[i:])^p)
 	}
 }
 
 type multiplier32 struct {
-	a uint32
-	t *[4][256]uint32
+	a   uint32
+	t   *[4][256]uint32
+	aff *[4][8]uint64
 }
 
 func (m *multiplier32) Coefficient() uint32 { return m.a }
 
 func (m *multiplier32) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 4)
+	if useAffine && len(dst) >= 64 {
+		n64 := len(dst) &^ 63
+		gf32AffineXorAsm(&dst[0], &src[0], n64, m.aff)
+		if n64 == len(dst) {
+			return
+		}
+		dst, src = dst[n64:], src[n64:]
+	}
 	// Main loop: two 32-bit symbols per 64-bit load/store.
 	n := len(dst) &^ 7
 	for i := 0; i < n; i += 8 {

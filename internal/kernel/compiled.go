@@ -7,39 +7,54 @@ import (
 	"ppm/internal/matrix"
 )
 
-// CompiledMatrix is a matrix pre-lowered into per-coefficient
-// multipliers: applying it skips both the zero-coefficient scan and the
-// per-call lookup-table construction that Field.MultXORs pays at
-// w = 16/32. Plans compile their sub-matrices once at build time, so
-// repeated decodes (the whole-disk-failure case: every stripe fails the
-// same way) run at table-free speed.
+// CompiledMatrix is a matrix pre-lowered into fused per-row kernels:
+// every row's nonzero coefficients are bound to their lookup tables at
+// compile time (gf.CompileRow), so applying the matrix pays no
+// zero-coefficient scan, no per-call table construction, and — because
+// the row kernel streams all of a row's terms through each destination
+// word in one pass — one destination load/store per row instead of one
+// per nonzero term.
+//
+// Application is cache-blocked: the tiled driver applies the whole
+// matrix to one tile of the byte range before the next (see tile.go),
+// and regions of parallelMinBytes and up fan their tile spans out
+// across the persistent worker pool, composing with the executors'
+// group-level parallelism.
 //
 // A CompiledMatrix is immutable after Compile and safe for concurrent
 // use — the PPM executor applies different compiled groups from
 // different worker goroutines.
 type CompiledMatrix struct {
 	rows, cols int
-	entries    [][]compiledEntry
-	nnz        int
+	kerns      []gf.RowKernel
+	// mults holds the per-row (column, multiplier) pairs of the same
+	// lowering, used by term-at-a-time consumers (the small-write path)
+	// and by tests asserting multiplier sharing.
+	mults [][]CompiledTerm
+	nnz   int
 }
 
-type compiledEntry struct {
-	col  int
-	mult gf.Multiplier
+// CompiledTerm is one nonzero coefficient of a compiled row.
+type CompiledTerm struct {
+	Col  int
+	Mult gf.Multiplier
 }
 
 // Compile lowers m over the field. Multipliers are shared between
 // equal coefficients (SD's all-ones disk-parity rows compile to one
-// XOR multiplier).
+// XOR multiplier), and each row is additionally fused into a
+// gf.RowKernel.
 func Compile(f gf.Field, m *matrix.Matrix) *CompiledMatrix {
 	cm := &CompiledMatrix{
-		rows:    m.Rows(),
-		cols:    m.Cols(),
-		entries: make([][]compiledEntry, m.Rows()),
+		rows:  m.Rows(),
+		cols:  m.Cols(),
+		kerns: make([]gf.RowKernel, m.Rows()),
+		mults: make([][]CompiledTerm, m.Rows()),
 	}
 	cache := make(map[uint32]gf.Multiplier)
 	for i := 0; i < m.Rows(); i++ {
 		row := m.Row(i)
+		cm.kerns[i] = gf.CompileRow(f, row)
 		for j, a := range row {
 			if a == 0 {
 				continue
@@ -49,7 +64,7 @@ func Compile(f gf.Field, m *matrix.Matrix) *CompiledMatrix {
 				mult = gf.MultiplierFor(f, a)
 				cache[a] = mult
 			}
-			cm.entries[i] = append(cm.entries[i], compiledEntry{col: j, mult: mult})
+			cm.mults[i] = append(cm.mults[i], CompiledTerm{Col: j, Mult: mult})
 			cm.nnz++
 		}
 	}
@@ -65,45 +80,202 @@ func (cm *CompiledMatrix) Cols() int { return cm.cols }
 // NNZ returns the nonzero count, i.e. the mult_XORs cost of one Apply.
 func (cm *CompiledMatrix) NNZ() int { return cm.nnz }
 
-// Apply computes out[i] ^= Σ_j M[i][j] * in[j], like kernel.Apply but
-// on the pre-lowered form.
-func (cm *CompiledMatrix) Apply(in, out [][]byte, stats *Stats) {
+// RowTerms returns row i's nonzero terms in column order.
+func (cm *CompiledMatrix) RowTerms(i int) []CompiledTerm { return cm.mults[i] }
+
+// checkShape panics unless the in/out counts match the matrix.
+func (cm *CompiledMatrix) checkShape(in, out [][]byte) {
 	if cm.rows != len(out) || cm.cols != len(in) {
 		panic(fmt.Sprintf("kernel: compiled %dx%d against %d inputs, %d outputs", cm.rows, cm.cols, len(in), len(out)))
 	}
-	var ops int64
-	for i, row := range cm.entries {
-		dst := out[i]
-		for _, e := range row {
-			e.mult.MultXOR(dst, in[e.col])
-			ops++
+}
+
+// Apply computes out[i] ^= Σ_j M[i][j] * in[j], like kernel.Apply but
+// on the pre-lowered form: tiled, fused, and — for regions of
+// parallelMinBytes and up — fanned out across the worker pool.
+func (cm *CompiledMatrix) Apply(in, out [][]byte, stats *Stats) {
+	cm.checkShape(in, out)
+	size := regionLen(out)
+	if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= parallelMinBytes {
+		if err := DefaultWorkers().Run(len(spans), func(i int) error {
+			cm.applySpan(in, out, spans[i][0], spans[i][1])
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+	} else {
+		cm.applySpan(in, out, 0, size)
+	}
+	stats.AddMultXORs(int64(cm.nnz))
+}
+
+// ApplyRange applies the matrix to the [lo, hi) byte sub-range of every
+// region, serially tiled — the building block byte-range executors
+// (hybrid chunking, the block-parallel baseline) use to run one
+// compiled matrix over worker-private chunks. Counts the full nnz as
+// operations; callers splitting one logical apply across ranges pass
+// nil stats and account once themselves.
+func (cm *CompiledMatrix) ApplyRange(in, out [][]byte, lo, hi int, stats *Stats) {
+	cm.checkShape(in, out)
+	cm.applySpan(in, out, lo, hi)
+	stats.AddMultXORs(int64(cm.nnz))
+}
+
+// applySpan is the tiled inner driver: whole matrix, one tile at a
+// time, with pooled view headers presenting each tile of the sources
+// to the fused row kernels.
+func (cm *CompiledMatrix) applySpan(in, out [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	arena := getViewArena(len(in))
+	views := arena.take(len(in))
+	tile := TileSize()
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		for j := range in {
+			views[j] = in[j][t:te]
+		}
+		for i, kern := range cm.kerns {
+			kern.MultXOR(out[i][t:te], views)
 		}
 	}
-	stats.AddMultXORs(ops)
+	arena.release()
+}
+
+// chainSpan runs the Normal sequence over [lo, hi) with the
+// intermediate product tiled through cache: per tile, S * BS lands in
+// a tile-sized scratch and F^-1 consumes it immediately, so the
+// intermediate regions never materialise at full size (word positions
+// are independent, which makes the per-tile chaining exact). scratch,
+// if non-nil, provides caller-owned intermediate regions instead of
+// pooled tile scratch.
+func chainSpan(finv, s *CompiledMatrix, in, out, scratch [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	tile := TileSize()
+	arena := getViewArena(len(in) + 2*len(out))
+	views := arena.take(len(in))
+	mid := arena.take(len(out))
+	outs := arena.take(len(out))
+	var sb *Scratch
+	if scratch == nil {
+		span := hi - lo
+		if span > tile {
+			span = tile
+		}
+		sb = GetScratch(len(out), span)
+		scratch = sb.Regions() // tile-relative: sliced [:n] per tile below
+	}
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		n := te - t
+		for j := range in {
+			views[j] = in[j][t:te]
+		}
+		for i := range out {
+			if sb != nil {
+				mid[i] = scratch[i][:n]
+			} else {
+				mid[i] = scratch[i][t:te]
+			}
+			outs[i] = out[i][t:te]
+		}
+		Zero(mid)
+		for i, kern := range s.kerns {
+			kern.MultXOR(mid[i], views)
+		}
+		Zero(outs)
+		for i, kern := range finv.kerns {
+			kern.MultXOR(outs[i], mid)
+		}
+	}
+	sb.Release()
+	arena.release()
 }
 
 // CompiledProduct mirrors Product for compiled matrices: out =
 // F^-1 * S * BS under the given sequence, where g is the compiled
 // MatrixFirst product and finv/s the compiled Normal-sequence pair.
-// Only the matrices the sequence needs may be non-nil.
+// Only the matrices the sequence needs may be non-nil. The Normal
+// sequence chains both applications tile-by-tile, so the intermediate
+// S * BS stays cache-resident; large regions fan tile spans across the
+// worker pool.
 func CompiledProduct(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
 	switch seq {
 	case MatrixFirst:
 		Zero(out)
 		g.Apply(in, out, stats)
 	case Normal:
-		if scratch == nil {
-			sb := GetScratch(len(out), regionLen(out))
-			defer sb.Release()
-			scratch = sb.Regions()
+		s.checkShape(in, scratchOrOut(scratch, out))
+		finv.checkShape(scratchOrOut(scratch, out), out)
+		size := regionLen(out)
+		if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= parallelMinBytes {
+			if err := DefaultWorkers().Run(len(spans), func(i int) error {
+				chainSpan(finv, s, in, out, scratch, spans[i][0], spans[i][1])
+				return nil
+			}); err != nil {
+				panic(err)
+			}
+		} else {
+			chainSpan(finv, s, in, out, scratch, 0, size)
 		}
-		Zero(scratch)
-		s.Apply(in, scratch, stats)
-		Zero(out)
-		finv.Apply(scratch, out, stats)
+		stats.AddMultXORs(int64(s.nnz + finv.nnz))
 	default:
 		panic(fmt.Sprintf("kernel: unknown sequence %d", int(seq)))
 	}
+}
+
+// CompiledProductRange is CompiledProduct restricted to the [lo, hi)
+// byte sub-range and always serial — for byte-range executors
+// (block-parallel decoding, hybrid chunk phases) that own their own
+// fan-out and call this from per-chunk workers. Unlike CompiledProduct
+// it also zeroes the output range itself for MatrixFirst, so one chunk
+// worker never touches another's bytes. Counts the full matrix nnz;
+// callers splitting one logical product across ranges pass nil stats
+// and account once themselves.
+func CompiledProductRange(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq Sequence, lo, hi int, stats *Stats) {
+	switch seq {
+	case MatrixFirst:
+		g.checkShape(in, out)
+		ZeroRange(out, lo, hi)
+		g.applySpan(in, out, lo, hi)
+		stats.AddMultXORs(int64(g.nnz))
+	case Normal:
+		s.checkShape(in, scratchOrOut(scratch, out))
+		finv.checkShape(scratchOrOut(scratch, out), out)
+		chainSpan(finv, s, in, out, scratch, lo, hi)
+		stats.AddMultXORs(int64(s.nnz + finv.nnz))
+	default:
+		panic(fmt.Sprintf("kernel: unknown sequence %d", int(seq)))
+	}
+}
+
+// ZeroRange clears the [lo, hi) byte range of every region without
+// allocating sub-slice headers.
+func ZeroRange(regions [][]byte, lo, hi int) {
+	for _, r := range regions {
+		r := r[lo:hi]
+		for i := range r {
+			r[i] = 0
+		}
+	}
+}
+
+// scratchOrOut sizes shape checks for the Normal chain: the
+// intermediate vector has one region per output row.
+func scratchOrOut(scratch, out [][]byte) [][]byte {
+	if scratch != nil {
+		return scratch
+	}
+	return out
 }
 
 // ChunkRanges splits a region byte range [0, size) into at most parts

@@ -107,10 +107,10 @@ func TestCompileSharesMultipliers(t *testing.T) {
 		}
 	}
 	cm := Compile(f, mm)
-	first := cm.entries[0][0].mult
-	for _, row := range cm.entries {
-		for _, e := range row {
-			if e.mult != first {
+	first := cm.RowTerms(0)[0].Mult
+	for i := 0; i < cm.Rows(); i++ {
+		for _, term := range cm.RowTerms(i) {
+			if term.Mult != first {
 				t.Fatal("equal coefficients got distinct multipliers")
 			}
 		}

@@ -7,7 +7,8 @@
 // those operations (atomically, because PPM runs several sub-decodes
 // concurrently) so the measured cost of any decode can be compared
 // against the analytic C1..C4 formulas — a property the test suite
-// exploits heavily.
+// exploits heavily. Tiling and fusion change how the bytes are swept,
+// never how many logical region operations are counted.
 package kernel
 
 import (
@@ -74,36 +75,49 @@ func (s Sequence) String() string {
 }
 
 // Apply computes out[i] ^= Σ_j M[i][j] * in[j] over block regions.
-// Callers that need out = M * in must clear out first (Zero). One
-// region operation is issued — and counted — per nonzero coefficient.
+// Callers that need out = M * in must clear out first (Zero). Each
+// nonzero coefficient counts as one region operation.
 //
-// Lookup tables are built once per distinct coefficient per call (the
-// same amortisation the compiled path gets per plan), so the
-// traditional baseline and PPM share identical region-op throughput —
-// the paper's comparisons assume a common arithmetic back end.
+// The sweep is cache-blocked and fused: the whole matrix is applied to
+// one tile of the byte range at a time (tile.go), and within a tile
+// each row's terms are streamed through the destination in a single
+// fused pass (gf.MultXORsMulti), so a tile's sources stay cache-hot
+// across rows and each destination word is loaded and stored once per
+// row instead of once per term. Lookup tables come from the per-field
+// multiplier memos, so the traditional baseline and the compiled PPM
+// path share identical region-op arithmetic — the paper's comparisons
+// assume a common back end. Apply itself stays serial (and, with the
+// memos warm, allocation-free); callers own any block-level
+// parallelism.
 func Apply(f gf.Field, m *matrix.Matrix, in, out [][]byte, stats *Stats) {
 	if m.Rows() != len(out) || m.Cols() != len(in) {
 		panic(fmt.Sprintf("kernel: matrix %s against %d inputs, %d outputs", m.Dims(), len(in), len(out)))
 	}
-	cache := make(map[uint32]gf.Multiplier)
-	var ops int64
-	for i := 0; i < m.Rows(); i++ {
-		row := m.Row(i)
-		dst := out[i]
-		for j, a := range row {
-			if a == 0 {
-				continue
-			}
-			mult, ok := cache[a]
-			if !ok {
-				mult = gf.MultiplierFor(f, a)
-				cache[a] = mult
-			}
-			mult.MultXOR(dst, in[j])
-			ops++
+	applyTiled(f, m, in, out, 0, regionLen(out))
+	stats.AddMultXORs(int64(m.NNZ()))
+}
+
+// applyTiled is Apply's tiled inner driver over the [lo, hi) byte range.
+func applyTiled(f gf.Field, m *matrix.Matrix, in, out [][]byte, lo, hi int) {
+	if lo >= hi || m.Rows() == 0 {
+		return
+	}
+	arena := getViewArena(len(in))
+	views := arena.take(len(in))
+	tile := TileSize()
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		for j := range in {
+			views[j] = in[j][t:te]
+		}
+		for i := 0; i < m.Rows(); i++ {
+			f.MultXORsMulti(out[i][t:te], views, m.Row(i))
 		}
 	}
-	stats.AddMultXORs(ops)
+	arena.release()
 }
 
 // Zero clears the given regions.
@@ -119,8 +133,10 @@ func Zero(regions [][]byte) {
 // requested sequence, where finv is f x f, s is f x q, in holds the q
 // surviving regions and out the f faulty regions. The scratch slice, if
 // non-nil, must hold f regions of the same size and is used by the
-// Normal sequence to hold the intermediate S * BS; pass nil to borrow
-// pooled scratch for the duration of the call.
+// Normal sequence to hold the intermediate S * BS; pass nil to chain
+// the two applications through pooled tile-sized scratch, which keeps
+// the intermediate product cache-resident and never materialises it at
+// full size.
 func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
 	if finv.Rows() != finv.Cols() || finv.Cols() != s.Rows() {
 		panic(fmt.Sprintf("kernel: shape mismatch F^-1 %s vs S %s", finv.Dims(), s.Dims()))
@@ -131,18 +147,67 @@ func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq 
 		Zero(out)
 		Apply(f, g, in, out, stats)
 	case Normal:
-		if scratch == nil {
-			sb := GetScratch(len(out), regionLen(out))
-			defer sb.Release()
-			scratch = sb.Regions()
+		if s.Cols() != len(in) || finv.Rows() != len(out) {
+			panic(fmt.Sprintf("kernel: matrices %s,%s against %d inputs, %d outputs", finv.Dims(), s.Dims(), len(in), len(out)))
 		}
-		Zero(scratch)
-		Apply(f, s, in, scratch, stats)
-		Zero(out)
-		Apply(f, finv, scratch, out, stats)
+		matChainSpan(f, finv, s, in, out, scratch, 0, regionLen(out))
+		stats.AddMultXORs(int64(s.NNZ() + finv.NNZ()))
 	default:
 		panic(fmt.Sprintf("kernel: unknown sequence %d", int(seq)))
 	}
+}
+
+// matChainSpan runs the Normal sequence over [lo, hi) tile by tile:
+// per tile, S * BS lands in scratch and F^-1 consumes it immediately,
+// so the intermediate stays cache-resident (word positions are
+// independent, making per-tile chaining exact). With nil scratch the
+// intermediate lives in pooled tile-sized buffers.
+func matChainSpan(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	tile := TileSize()
+	arena := getViewArena(len(in) + 2*len(out))
+	views := arena.take(len(in))
+	mid := arena.take(len(out))
+	outs := arena.take(len(out))
+	var sb *Scratch
+	if scratch == nil {
+		span := hi - lo
+		if span > tile {
+			span = tile
+		}
+		sb = GetScratch(len(out), span)
+		scratch = sb.Regions()
+	}
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		n := te - t
+		for j := range in {
+			views[j] = in[j][t:te]
+		}
+		for i := range out {
+			if sb != nil {
+				mid[i] = scratch[i][:n]
+			} else {
+				mid[i] = scratch[i][t:te]
+			}
+			outs[i] = out[i][t:te]
+		}
+		Zero(mid)
+		for i := 0; i < s.Rows(); i++ {
+			f.MultXORsMulti(mid[i], views, s.Row(i))
+		}
+		Zero(outs)
+		for i := 0; i < finv.Rows(); i++ {
+			f.MultXORsMulti(outs[i], mid, finv.Row(i))
+		}
+	}
+	sb.Release()
+	arena.release()
 }
 
 // AllocRegions allocates count regions of size bytes backed by one

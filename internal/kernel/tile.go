@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache blocking. The kernel applies a decode matrix to whole-sector
+// regions; at multi-megabyte sector sizes a row-at-a-time sweep streams
+// every source region through the cache once per row. The tiled driver
+// instead splits the byte range into tiles (default 32 KiB) and applies
+// the *whole matrix* to one tile before moving to the next, so a tile's
+// source data, loaded by the first row, is still cache-resident for
+// every later row, and the Normal sequence's intermediate S*BS product
+// never leaves cache at all (see chained product in compiled.go).
+//
+// Tile size is a process-wide tuning knob: 32 KiB keeps a typical
+// decode working set (tile x survivor count) inside L2 while staying
+// large enough that per-tile bookkeeping is noise. SetTileSize adjusts
+// it for unusual cache hierarchies; the differential tests shrink it to
+// force many-tile execution on small regions.
+
+const (
+	defaultTileBytes = 32 << 10
+	// minTileBytes bounds the knob from below: tiles smaller than this
+	// spend more time re-slicing views than multiplying.
+	minTileBytes = 512
+	// parallelMinBytes is the region size at which the compiled apply
+	// fans tile spans out across the worker pool: below it the fan-out
+	// dispatch costs more than it overlaps, and keeping small regions
+	// serial preserves the allocation-free repeated-decode path.
+	parallelMinBytes = 1 << 20
+)
+
+var tileBytes atomic.Int64
+
+func init() { tileBytes.Store(defaultTileBytes) }
+
+// TileSize returns the current cache-blocking tile size in bytes.
+func TileSize() int { return int(tileBytes.Load()) }
+
+// SetTileSize sets the cache-blocking tile size. n is rounded up to a
+// multiple of 8 bytes (an exact multiple of every supported GF word
+// size) and clamped below at 512; n <= 0 restores the 32 KiB default.
+// Safe to call concurrently with running decodes — in-flight
+// applications keep the size they started with.
+func SetTileSize(n int) {
+	if n <= 0 {
+		n = defaultTileBytes
+	}
+	if n < minTileBytes {
+		n = minTileBytes
+	}
+	tileBytes.Store(int64((n + 7) &^ 7))
+}
+
+// tileSpans splits [0, size) into at most `parts` spans of whole tiles
+// (the last span absorbs the sub-tile remainder), for fanning the tile
+// loop of one apply across workers. Returns nil when one span suffices.
+func tileSpans(size, parts, tile int) [][2]int {
+	if parts > size/tile {
+		parts = size / tile
+	}
+	if parts <= 1 {
+		return nil
+	}
+	tiles := size / tile
+	spans := make([][2]int, 0, parts)
+	start := 0
+	for i := 0; i < parts; i++ {
+		n := tiles / parts
+		if i < tiles%parts {
+			n++
+		}
+		end := start + n*tile
+		if i == parts-1 {
+			end = size
+		}
+		if end > start {
+			spans = append(spans, [2]int{start, end})
+		}
+		start = end
+	}
+	return spans
+}
+
+// applyWorkers is the fan-out width for one large-region apply: the
+// core count, the same budget the executors draw on. The worker pool's
+// inline-fallback dispatch keeps nesting safe (an apply running inside
+// a group worker hands tiles to idle workers or runs them itself).
+func applyWorkers() int { return runtime.NumCPU() }
+
+// viewArena is a pooled arena of region-view headers ([lo:hi] sub-slices
+// of caller regions), the per-apply scratch the tiled driver needs to
+// present one tile of every source to the fused row kernels. Pooled and
+// cleared on release so the repeated-decode path allocates nothing and
+// the pool never pins caller buffers.
+type viewArena struct {
+	views [][]byte
+	used  int
+}
+
+var viewPool = sync.Pool{New: func() interface{} { return new(viewArena) }}
+
+func getViewArena(capacity int) *viewArena {
+	a := viewPool.Get().(*viewArena)
+	if cap(a.views) < capacity {
+		a.views = make([][]byte, capacity)
+	}
+	a.views = a.views[:capacity]
+	a.used = 0
+	return a
+}
+
+// take returns n cleared view slots from the arena.
+func (a *viewArena) take(n int) [][]byte {
+	v := a.views[a.used : a.used+n : a.used+n]
+	a.used += n
+	return v
+}
+
+func (a *viewArena) release() {
+	for i := range a.views {
+		a.views[i] = nil
+	}
+	viewPool.Put(a)
+}
+
+// ChunkRangesAligned is ChunkRanges with the boundaries additionally
+// aligned to the current tile size when every part is at least two
+// tiles long — byte-range executors (hybrid serial phases, the
+// block-parallel baseline) use it so their chunk splits compose with
+// the kernel's tiling instead of shearing tiles across workers. For
+// smaller ranges it degrades to plain word alignment.
+func ChunkRangesAligned(size, parts, wordBytes int) [][2]int {
+	tile := TileSize()
+	if parts > 1 && size >= 2*tile*parts {
+		spans := tileSpans(size, parts, tile)
+		if spans != nil {
+			return spans
+		}
+	}
+	return ChunkRanges(size, parts, wordBytes)
+}
