@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel experiments paper fmt vet check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline experiments paper fmt vet check clean
 
 all: check
 
@@ -31,6 +31,13 @@ bench:
 # Fails if any 128 KiB/8 MiB case drops below the 1.5x floor.
 bench-kernel:
 	$(GO) run ./cmd/benchkernel -count 5 -o BENCH_kernel.json
+
+# Record the streaming-pipeline series: serial loop vs pipeline at
+# depths 1/2/4/8 across SD/LRC/RS, encode + rebuild, with outputs
+# verified byte-identical per run -> BENCH_pipeline.json. Fails if any
+# store-mode depth>=4 run is below 1.3x the serial loop's throughput.
+bench-pipeline:
+	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
 # Regenerate the paper's figures at CI scale (minutes).
 experiments:

@@ -1,12 +1,15 @@
 package ppm
 
 import (
+	"io"
+
 	"ppm/internal/array"
 	"ppm/internal/codes"
 	"ppm/internal/core"
 	"ppm/internal/decode"
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
+	"ppm/internal/pipeline"
 	"ppm/internal/stripe"
 )
 
@@ -260,6 +263,71 @@ type RepairStats = array.RepairStats
 // deterministic random data.
 func NewArray(c Code, numStripes, sectorSize int, seed int64) (*Array, error) {
 	return array.New(c, numStripes, sectorSize, seed)
+}
+
+// StreamConfig tunes the streaming multi-stripe pipeline: Depth bounds
+// the stripes in flight (backpressure, default 4), Workers the compute
+// shards on the persistent kernel pool, Threads the per-stripe parallel
+// phase (default 1 — the pipeline parallelises across stripes).
+type StreamConfig = pipeline.Config
+
+// StreamResult reports a stream run: stripes drained and payload bytes
+// moved (consumed on encode, written on decode).
+type StreamResult = pipeline.Result
+
+// StreamEngine is a reusable streaming pipeline bound to one code and
+// one failure scenario: the plan is compiled once at construction and
+// amortised over every stripe of every Run. Use NewStreamEngine for
+// repeated streams or custom Source/Sink pairs; the EncodeStream /
+// DecodeStream helpers cover the common one-shot reader/writer case.
+type StreamEngine = pipeline.Engine
+
+// StreamSource feeds stripes into a StreamEngine in index order.
+type StreamSource = pipeline.Source
+
+// StreamSink receives processed stripes in strict stripe order.
+type StreamSink = pipeline.Sink
+
+// NewStreamEngine builds a reusable pipeline engine for one code +
+// scenario pair (use EncodingScenario(c) for encoding). sectorSize > 0
+// pre-allocates Depth stripe slabs; sectorSize == 0 builds a slab-less
+// engine for batch sources that hand over caller-owned stripes. Close
+// the engine when done.
+func NewStreamEngine(c Code, sc Scenario, sectorSize int, cfg StreamConfig) (*StreamEngine, error) {
+	return pipeline.New(c, sc, sectorSize, cfg)
+}
+
+// EncodeStream reads payload bytes from src, encodes them through the
+// streaming pipeline — plan compiled once, Depth stripes in flight,
+// stripe reads overlapping compute — and writes full stripe images
+// (n*r sectors, row-major) to dst. The final stripe is zero-padded;
+// StreamResult.Bytes is the payload size a later DecodeStream needs to
+// trim it.
+func EncodeStream(c Code, dst io.Writer, src io.Reader, sectorSize int, cfg StreamConfig) (StreamResult, error) {
+	return pipeline.EncodeStream(c, dst, src, sectorSize, cfg)
+}
+
+// DecodeStream reads stripe images from src, recovers the scenario's
+// faulty sectors in each (their bytes in the stream are ignored and
+// reconstructed), and writes the recovered payload to dst, trimmed to
+// payload bytes (negative payload emits everything, padding included).
+// An empty scenario makes it an overlapped extract of an intact stream.
+func DecodeStream(c Code, dst io.Writer, src io.Reader, sc Scenario, payload int64, sectorSize int, cfg StreamConfig) (StreamResult, error) {
+	return pipeline.DecodeStream(c, dst, src, sc, payload, sectorSize, cfg)
+}
+
+// EncodeBatch encodes an in-memory batch of stripes in place through
+// the pipeline: one compiled plan, stripes sharded across the worker
+// pool, Depth in flight.
+func EncodeBatch(c Code, stripes []*Stripe, cfg StreamConfig) error {
+	return pipeline.Batch(c, codes.EncodingScenario(c), stripes, cfg)
+}
+
+// DecodeBatch decodes one failure scenario across an in-memory batch of
+// stripes in place — the whole-disk rebuild shape: every stripe failed
+// identically, one plan serves them all.
+func DecodeBatch(c Code, sc Scenario, stripes []*Stripe, cfg StreamConfig) error {
+	return pipeline.Batch(c, sc, stripes, cfg)
 }
 
 // FieldFor returns the word size w (8, 16 or 32) the library selects

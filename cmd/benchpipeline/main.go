@@ -1,0 +1,412 @@
+// Command benchpipeline records the multi-stripe pipeline series that
+// `make bench-pipeline` tracks across PRs: stripes/s and MB/s for the
+// fixed serial per-stripe loop vs the streaming pipeline at 1/2/4/8
+// in-flight stripes, across an SD, an LRC and an RS instance, for
+// encode and for a two-disk rebuild.
+//
+// Two storage models run per instance:
+//
+//   - "mem": source and sink are plain memory copies. This isolates the
+//     compute path; on a single-core host the depths tie with serial
+//     (there is no second core to shard stripes onto) and the series is
+//     informational.
+//   - "store": the source and sink sleep a fixed per-stripe latency,
+//     modelling a seek/queue-dominated strip store. The pipeline
+//     overlaps the read of stripe i+1 and the write of stripe i-1 with
+//     the compute of stripe i, so depth>=2 hides one of the two
+//     latencies per stripe deterministically, on any core count. This
+//     is the series the acceptance gate reads: every store-mode
+//     pipeline run at depth>=4 must reach 1.3x the serial loop's
+//     throughput, or the command exits 1.
+//
+// Every run's output is verified byte-identical against the serial
+// path's output before its timing is recorded.
+//
+// Usage:
+//
+//	benchpipeline [-iters 3] [-payload 4194304] [-lat 1ms] [-gate 1.3] [-o BENCH_pipeline.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/pipeline"
+	"ppm/internal/stripe"
+)
+
+type entry struct {
+	Instance   string  `json:"instance"`
+	Mode       string  `json:"mode"` // "mem" (informational) or "store" (gated)
+	Op         string  `json:"op"`   // "encode" or "rebuild"
+	Path       string  `json:"path"` // "serial" or "pipeline"
+	Depth      int     `json:"depth,omitempty"`
+	BestNs     float64 `json:"best_ns"`
+	StripesS   float64 `json:"stripes_per_s"`
+	MBs        float64 `json:"mb_s"`
+	Speedup    float64 `json:"speedup_vs_serial,omitempty"`
+	Gated      bool    `json:"gated,omitempty"`
+	MeetsFloor bool    `json:"meets_1_3x,omitempty"`
+}
+
+type report struct {
+	Date         string  `json:"date"`
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	Iters        int     `json:"iters"`
+	PayloadBytes int     `json:"payload_bytes"`
+	StoreLatency string  `json:"store_latency_per_stripe"`
+	GateFloor    float64 `json:"gate_floor"`
+	Verified     bool    `json:"outputs_verified_vs_serial"`
+	Entries      []entry `json:"entries"`
+}
+
+// latency is the simulated per-stripe store cost, paid once per stripe
+// read on the fill side and once per stripe write on the drain side.
+type latency time.Duration
+
+func (l latency) pay() {
+	if l > 0 {
+		time.Sleep(time.Duration(l))
+	}
+}
+
+// encSource lays payload bytes into the slab's data sectors,
+// zero-padding past the end, exactly `stripes` stripes.
+type encSource struct {
+	payload []byte
+	data    []int
+	stripes int
+	off     int
+	lat     latency
+}
+
+func (s *encSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= s.stripes {
+		return nil, nil
+	}
+	s.lat.pay()
+	for _, pos := range s.data {
+		sec := slab.Sector(pos)
+		n := copy(sec, s.payload[s.off:])
+		clear(sec[n:])
+		s.off += n
+	}
+	return slab, nil
+}
+
+// imgSink stores full stripe images at their index offset.
+type imgSink struct {
+	img         []byte
+	stripeBytes int
+	sector      int
+	lat         latency
+}
+
+func (k *imgSink) Drain(idx int, st *stripe.Stripe) error {
+	k.lat.pay()
+	off := idx * k.stripeBytes
+	for i := 0; i < st.TotalSectors(); i++ {
+		copy(k.img[off+i*k.sector:], st.Sector(i))
+	}
+	return nil
+}
+
+// imgSource loads full stripe images by index.
+type imgSource struct {
+	img         []byte
+	stripeBytes int
+	sector      int
+	stripes     int
+	lat         latency
+}
+
+func (s *imgSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= s.stripes {
+		return nil, nil
+	}
+	s.lat.pay()
+	off := idx * s.stripeBytes
+	for i := 0; i < slab.TotalSectors(); i++ {
+		copy(slab.Sector(i), s.img[off+i*s.sector:off+(i+1)*s.sector])
+	}
+	return slab, nil
+}
+
+// paySink writes recovered data bytes into out until it is full.
+type paySink struct {
+	out  []byte
+	data []int
+	off  int
+	lat  latency
+}
+
+func (k *paySink) Drain(_ int, st *stripe.Stripe) error {
+	k.lat.pay()
+	for _, pos := range k.data {
+		n := copy(k.out[k.off:], st.Sector(pos))
+		k.off += n
+	}
+	return nil
+}
+
+type instance struct {
+	name    string
+	c       codes.Code
+	sc      codes.Scenario // two-disk rebuild scenario
+	sector  int
+	stripes int
+	payload []byte
+	golden  []byte // serial-encoded image of payload
+	corrupt []byte // golden with the scenario's sectors scribbled
+}
+
+const sectorSize = 4096
+
+func buildInstances(payloadBytes int) ([]*instance, error) {
+	sd, err := codes.NewSD(8, 16, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := codes.NewRS(10, 16, 2)
+	if err != nil {
+		return nil, err
+	}
+	var out []*instance
+	for _, it := range []struct {
+		name string
+		c    codes.Code
+	}{
+		{"SD(8,16,2,2)", sd}, {"LRC(12,2,2)", lrc}, {"RS(10,16,2)", rs},
+	} {
+		c := it.c
+		var faulty []int
+		for row := 0; row < c.NumRows(); row++ {
+			for _, d := range []int{0, 2} {
+				faulty = append(faulty, row*c.NumStrips()+d)
+			}
+		}
+		sc, err := codes.NewScenario(c, faulty)
+		if err != nil {
+			return nil, fmt.Errorf("%s rebuild scenario: %w", it.name, err)
+		}
+		perStripe := len(codes.DataPositions(c)) * sectorSize
+		ins := &instance{
+			name:    it.name,
+			c:       c,
+			sc:      sc,
+			sector:  sectorSize,
+			stripes: (payloadBytes + perStripe - 1) / perStripe,
+			payload: make([]byte, payloadBytes),
+		}
+		rand.New(rand.NewSource(int64(len(it.name)))).Read(ins.payload)
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+func (ins *instance) stripeBytes() int {
+	return ins.c.NumStrips() * ins.c.NumRows() * ins.sector
+}
+
+// runEncode encodes the payload into a fresh image. depth 0 selects the
+// serial loop.
+func (ins *instance) runEncode(depth int, lat latency) ([]byte, time.Duration, error) {
+	img := make([]byte, ins.stripes*ins.stripeBytes())
+	src := &encSource{payload: ins.payload, data: codes.DataPositions(ins.c), stripes: ins.stripes, lat: lat}
+	sink := &imgSink{img: img, stripeBytes: ins.stripeBytes(), sector: ins.sector, lat: lat}
+	sc := codes.EncodingScenario(ins.c)
+	start := time.Now()
+	var err error
+	if depth == 0 {
+		_, err = pipeline.Serial(ins.c, sc, ins.sector, pipeline.Config{}, src, sink)
+	} else {
+		var eng *pipeline.Engine
+		eng, err = pipeline.New(ins.c, sc, ins.sector, pipeline.Config{Depth: depth})
+		if err == nil {
+			_, err = eng.Run(src, sink)
+			eng.Close()
+		}
+	}
+	return img, time.Since(start), err
+}
+
+// runRebuild decodes the corrupted image back into a payload buffer.
+func (ins *instance) runRebuild(depth int, lat latency) ([]byte, time.Duration, error) {
+	out := make([]byte, len(ins.payload))
+	src := &imgSource{img: ins.corrupt, stripeBytes: ins.stripeBytes(), sector: ins.sector, stripes: ins.stripes, lat: lat}
+	sink := &paySink{out: out, data: codes.DataPositions(ins.c), lat: lat}
+	start := time.Now()
+	var err error
+	if depth == 0 {
+		_, err = pipeline.Serial(ins.c, ins.sc, ins.sector, pipeline.Config{}, src, sink)
+	} else {
+		var eng *pipeline.Engine
+		eng, err = pipeline.New(ins.c, ins.sc, ins.sector, pipeline.Config{Depth: depth})
+		if err == nil {
+			_, err = eng.Run(src, sink)
+			eng.Close()
+		}
+	}
+	return out, time.Since(start), err
+}
+
+func main() {
+	var (
+		iters   = flag.Int("iters", 3, "timed runs per series point (best kept)")
+		payload = flag.Int("payload", 4<<20+12345, "payload bytes per instance (>= 1 MiB, non-stripe-aligned by default)")
+		lat     = flag.Duration("lat", time.Millisecond, "store-mode per-stripe latency, paid per read and per write")
+		gate    = flag.Float64("gate", 1.3, "store-mode depth>=4 speedup floor")
+		out     = flag.String("o", "BENCH_pipeline.json", "output file")
+	)
+	flag.Parse()
+	if *payload < 1<<20 {
+		fmt.Fprintln(os.Stderr, "benchpipeline: -payload must be at least 1 MiB for the gate to be meaningful")
+		os.Exit(1)
+	}
+
+	instances, err := buildInstances(*payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Iters:        *iters,
+		PayloadBytes: *payload,
+		StoreLatency: lat.String(),
+		GateFloor:    *gate,
+		Verified:     true,
+	}
+
+	// Golden outputs from the zero-latency serial path; every later run
+	// must reproduce them byte for byte.
+	for _, ins := range instances {
+		img, _, err := ins.runEncode(0, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchpipeline: %s golden encode: %v\n", ins.name, err)
+			os.Exit(1)
+		}
+		ins.golden = img
+		ins.corrupt = append([]byte(nil), img...)
+		sb := ins.stripeBytes()
+		for idx := 0; idx < ins.stripes; idx++ {
+			for _, f := range ins.sc.Faulty {
+				off := idx*sb + f*ins.sector
+				rand.New(rand.NewSource(int64(off))).Read(ins.corrupt[off : off+ins.sector])
+			}
+		}
+	}
+
+	fmt.Printf("%-13s %-6s %-8s %-12s %10s %9s %8s\n",
+		"instance", "mode", "op", "path", "stripes/s", "MB/s", "speedup")
+	var gateFailures []string
+	for _, ins := range instances {
+		totalBytes := float64(ins.stripes * ins.stripeBytes())
+		for _, mode := range []struct {
+			name string
+			lat  latency
+		}{
+			{"mem", 0}, {"store", latency(*lat)},
+		} {
+			for _, op := range []struct {
+				name string
+				run  func(depth int, lat latency) ([]byte, time.Duration, error)
+				want []byte
+			}{
+				{"encode", ins.runEncode, nil}, // want bound below (golden set above)
+				{"rebuild", ins.runRebuild, ins.payload},
+			} {
+				want := op.want
+				if want == nil {
+					want = ins.golden
+				}
+				serialNs := 0.0
+				for _, depth := range []int{0, 1, 2, 4, 8} {
+					best := time.Duration(0)
+					for i := -1; i < *iters; i++ { // one warm-up pass
+						got, elapsed, err := op.run(depth, mode.lat)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "benchpipeline: %s/%s/%s d=%d: %v\n",
+								ins.name, mode.name, op.name, depth, err)
+							os.Exit(1)
+						}
+						if !bytes.Equal(got, want) {
+							fmt.Fprintf(os.Stderr, "benchpipeline: %s/%s/%s d=%d: output differs from the serial path\n",
+								ins.name, mode.name, op.name, depth)
+							os.Exit(1)
+						}
+						if i >= 0 && (best == 0 || elapsed < best) {
+							best = elapsed
+						}
+					}
+					e := entry{
+						Instance: ins.name,
+						Mode:     mode.name,
+						Op:       op.name,
+						Depth:    depth,
+						BestNs:   float64(best.Nanoseconds()),
+						StripesS: float64(ins.stripes) / best.Seconds(),
+						MBs:      totalBytes / 1e6 / best.Seconds(),
+					}
+					if depth == 0 {
+						e.Path, e.Depth = "serial", 0
+						serialNs = e.BestNs
+					} else {
+						e.Path = "pipeline"
+						e.Speedup = serialNs / e.BestNs
+						e.Gated = mode.name == "store" && depth >= 4
+						e.MeetsFloor = e.Speedup >= *gate
+						if e.Gated && !e.MeetsFloor {
+							gateFailures = append(gateFailures, fmt.Sprintf(
+								"%s/%s d=%d: %.2fx < %.2fx", ins.name, op.name, depth, e.Speedup, *gate))
+						}
+					}
+					rep.Entries = append(rep.Entries, e)
+					label := e.Path
+					if e.Path == "pipeline" {
+						label = fmt.Sprintf("pipeline d=%d", depth)
+					}
+					sp := "-"
+					if e.Path == "pipeline" {
+						sp = fmt.Sprintf("%.2fx", e.Speedup)
+					}
+					fmt.Printf("%-13s %-6s %-8s %-12s %10.1f %9.1f %8s\n",
+						ins.name, mode.name, op.name, label, e.StripesS, e.MBs, sp)
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			fmt.Fprintf(os.Stderr, "benchpipeline: store-mode gate failure: %s\n", f)
+		}
+		os.Exit(1)
+	}
+}

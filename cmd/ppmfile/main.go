@@ -12,7 +12,10 @@
 //	ppmfile scrub -dir shards -repair          # locate & fix silent corruption
 //
 // Each disk j becomes one file disk_<j>.strip holding its sectors in
-// stripe order; manifest.json records the geometry.
+// stripe order; manifest.json records the geometry. Encode and decode
+// stream the file through the multi-stripe pipeline: one compiled plan
+// serves every stripe and -depth stripes are in flight, so strip-file
+// I/O overlaps the GF compute.
 package main
 
 import (
@@ -45,8 +48,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  ppmfile encode -in FILE -dir DIR [-n 8 -r 16 -m 2 -s 2 -sector 4096]
-  ppmfile decode -dir DIR -out FILE [-threads 4]
+  ppmfile encode -in FILE -dir DIR [-n 8 -r 16 -m 2 -s 2 -sector 4096 -depth 4]
+  ppmfile decode -dir DIR -out FILE [-depth 4 -threads 1]
   ppmfile verify -dir DIR
   ppmfile scrub  -dir DIR [-repair]`)
 	os.Exit(2)

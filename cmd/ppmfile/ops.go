@@ -7,8 +7,8 @@ import (
 	"path/filepath"
 
 	"ppm/internal/codes"
-	"ppm/internal/core"
 	"ppm/internal/decode"
+	"ppm/internal/pipeline"
 	"ppm/internal/stripe"
 )
 
@@ -21,7 +21,8 @@ func runEncode(args []string) error {
 	m := fs.Int("m", 2, "coding disks")
 	s := fs.Int("s", 2, "coding sectors")
 	sector := fs.Int("sector", 4096, "sector size in bytes")
-	threads := fs.Int("threads", 0, "PPM workers (0 = min(4, cores))")
+	threads := fs.Int("threads", 0, "per-stripe PPM workers (0 = 1; the pipeline parallelises across stripes)")
+	depth := fs.Int("depth", pipeline.DefaultDepth, "stripes in flight (pipeline depth)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,13 +37,19 @@ func runEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(*in)
+	inFile, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
+	defer inFile.Close()
+	info, err := inFile.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
 	dataPositions := codes.DataPositions(sd)
-	payloadPerStripe := len(dataPositions) * *sector
-	stripes := (len(data) + payloadPerStripe - 1) / payloadPerStripe
+	payloadPerStripe := int64(len(dataPositions)) * int64(*sector)
+	stripes := int((size + payloadPerStripe - 1) / payloadPerStripe)
 	if stripes == 0 {
 		stripes = 1
 	}
@@ -56,7 +63,7 @@ func runEncode(args []string) error {
 		Coeffs:     sd.Coefficients(),
 		SectorSize: *sector,
 		Stripes:    stripes,
-		FileSize:   int64(len(data)),
+		FileSize:   size,
 		FileName:   filepath.Base(*in),
 	}
 	if err := writeManifest(*dir, mf); err != nil {
@@ -68,31 +75,21 @@ func runEncode(args []string) error {
 	}
 	defer ds.Close()
 
-	st, err := stripe.New(*n, *r, *sector)
+	// Stream the file through the pipeline: the encode plan is compiled
+	// once, file reads for stripe i+1 overlap the encode of stripe i,
+	// and -depth stripes are in flight against the strip store.
+	eng, err := pipeline.New(sd, codes.EncodingScenario(sd), *sector,
+		pipeline.Config{Depth: *depth, Threads: *threads})
 	if err != nil {
 		return err
 	}
-	enc := core.NewDecoder(sd, core.WithThreads(*threads))
-	offset := 0
-	for idx := 0; idx < stripes; idx++ {
-		// Lay the file bytes into the data sectors, zero-padding the tail.
-		for _, pos := range dataPositions {
-			sec := st.Sector(pos)
-			nCopied := copy(sec, data[min(offset, len(data)):])
-			for b := nCopied; b < len(sec); b++ {
-				sec[b] = 0
-			}
-			offset += len(sec)
-		}
-		if err := enc.Encode(st); err != nil {
-			return fmt.Errorf("stripe %d: %w", idx, err)
-		}
-		if err := ds.writeStripe(idx, st); err != nil {
-			return err
-		}
+	defer eng.Close()
+	src := &payloadSource{r: inFile, dataPos: dataPositions, stripes: stripes}
+	if _, err := eng.Run(src, &storeSink{ds: ds}); err != nil {
+		return err
 	}
 	fmt.Printf("encoded %d bytes as %s: %d stripes x %d disks (%d-byte sectors), tolerates %d disk + %d sector failures per stripe\n",
-		len(data), sd.Name(), stripes, *n, *sector, *m, *s)
+		size, sd.Name(), stripes, *n, *sector, *m, *s)
 	return nil
 }
 
@@ -100,7 +97,8 @@ func runDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	dir := fs.String("dir", "", "shard directory")
 	out := fs.String("out", "", "output file (default: the original name in the current directory)")
-	threads := fs.Int("threads", 0, "PPM workers (0 = min(4, cores))")
+	threads := fs.Int("threads", 0, "per-stripe PPM workers (0 = 1; the pipeline parallelises across stripes)")
+	depth := fs.Int("depth", pipeline.DefaultDepth, "stripes in flight (pipeline depth)")
 	repair := fs.Bool("repair", true, "rewrite missing strip files after recovery")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,58 +162,28 @@ func runDecode(args []string) error {
 		}
 	}
 
-	dec := core.NewDecoder(sd, core.WithThreads(*threads))
-	var plan *core.Plan
-	if len(sc.Faulty) > 0 {
-		// All stripes fail identically (whole disks), so one plan serves
-		// every stripe — the DecodeWithPlan fast path.
-		plan, err = dec.Plan(sc)
-		if err != nil {
-			return err
-		}
-	}
-
-	st, err := stripe.New(mf.N, mf.R, mf.SectorSize)
+	// All stripes fail identically (whole disks), so the pipeline's
+	// once-compiled plan serves every stripe; strip reads for stripe i+1
+	// overlap the recovery of stripe i. An empty scenario (nothing
+	// missing) runs the same pipeline as a pure extract pass.
+	eng, err := pipeline.New(sd, sc, mf.SectorSize,
+		pipeline.Config{Depth: *depth, Threads: *threads})
 	if err != nil {
 		return err
 	}
-	dataPositions := codes.DataPositions(sd)
-	remaining := mf.FileSize
-	for idx := 0; idx < mf.Stripes; idx++ {
-		if err := ds.readStripe(idx, st); err != nil {
-			return err
-		}
-		if plan != nil {
-			if err := dec.DecodeWithPlan(plan, st); err != nil {
-				return fmt.Errorf("stripe %d: %w", idx, err)
-			}
-			for j, f := range repairFiles {
-				buf := make([]byte, ds.stripBytes())
-				for i := 0; i < mf.R; i++ {
-					copy(buf[i*mf.SectorSize:(i+1)*mf.SectorSize], st.SectorAt(i, j))
-				}
-				if _, err := f.WriteAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
-					return err
-				}
-			}
-		}
-		for _, pos := range dataPositions {
-			if remaining <= 0 {
-				break
-			}
-			sec := st.Sector(pos)
-			chunk := int64(len(sec))
-			if chunk > remaining {
-				chunk = remaining
-			}
-			if _, err := outFile.Write(sec[:chunk]); err != nil {
-				return err
-			}
-			remaining -= chunk
-		}
+	defer eng.Close()
+	sink := &restoreSink{
+		out:       outFile,
+		dataPos:   codes.DataPositions(sd),
+		remaining: mf.FileSize,
+		repair:    repairFiles,
+		mf:        mf,
 	}
-	if remaining != 0 {
-		return fmt.Errorf("short archive: %d bytes unaccounted for", remaining)
+	if _, err := eng.Run(&storeSource{ds: ds, stripes: mf.Stripes}, sink); err != nil {
+		return err
+	}
+	if sink.remaining != 0 {
+		return fmt.Errorf("short archive: %d bytes unaccounted for", sink.remaining)
 	}
 	fmt.Printf("restored %q (%d bytes)\n", *out, mf.FileSize)
 	if len(repairFiles) > 0 {
@@ -343,12 +311,12 @@ func runScrub(args []string) error {
 
 // writeBackStripe rewrites one stripe's sectors into the strip files.
 func writeBackStripe(dir string, ds *diskStore, idx int, st *stripe.Stripe) error {
+	buf := make([]byte, ds.stripBytes())
 	for j := 0; j < ds.mf.N; j++ {
 		f, err := os.OpenFile(filepath.Join(dir, diskFileName(j)), os.O_WRONLY, 0)
 		if err != nil {
 			return err
 		}
-		buf := make([]byte, ds.stripBytes())
 		for i := 0; i < ds.mf.R; i++ {
 			copy(buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize], st.SectorAt(i, j))
 		}

@@ -220,3 +220,117 @@ func TestScrubCleanDirectory(t *testing.T) {
 		t.Fatalf("clean scrub errored: %v", err)
 	}
 }
+
+// TestManifestHardening: readManifest rejects coefficient counts that
+// disagree with m+s and field word sizes the library doesn't support.
+func TestManifestHardening(t *testing.T) {
+	base := manifest{
+		N: 8, R: 16, M: 2, S: 2, Word: 8,
+		Coeffs:     []uint32{1, 2, 4, 8},
+		SectorSize: 4096, Stripes: 3, FileSize: 12345, FileName: "x.bin",
+	}
+	cases := []struct {
+		name   string
+		mutate func(mf *manifest)
+	}{
+		{"short coeffs", func(mf *manifest) { mf.Coeffs = mf.Coeffs[:2] }},
+		{"long coeffs", func(mf *manifest) { mf.Coeffs = append(mf.Coeffs, 16) }},
+		{"negative m", func(mf *manifest) { mf.M = -1 }},
+		{"word 7", func(mf *manifest) { mf.Word = 7 }},
+		{"word 0", func(mf *manifest) { mf.Word = 0 }},
+		{"word 64", func(mf *manifest) { mf.Word = 64 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			mf := base
+			mf.Coeffs = append([]uint32(nil), base.Coeffs...)
+			tc.mutate(&mf)
+			if err := writeManifest(dir, mf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readManifest(dir); err == nil {
+				t.Fatalf("manifest with %s accepted", tc.name)
+			}
+		})
+	}
+	// The unmutated manifest must still pass.
+	dir := t.TempDir()
+	if err := writeManifest(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManifest(dir); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+// TestPipelinedRoundTripManyStripes drives the pipelined encode/decode
+// through enough stripes to keep several in flight, with a payload that
+// ends mid-stripe (non-stripe-aligned tail), and checks the restored
+// bytes and the repaired directory.
+func TestPipelinedRoundTripManyStripes(t *testing.T) {
+	work := t.TempDir()
+	// n=6 m=2 data disks=4 (plus s=1 coding sector), r=4, sector=512:
+	// payload per stripe = (4*4-1)*512 = 7680 bytes; 10 stripes minus a
+	// ragged tail.
+	size := 7680*10 - 1234
+	in, data := writeInput(t, work, size)
+	shards := filepath.Join(work, "shards")
+	out := filepath.Join(work, "restored.bin")
+
+	if err := runEncode([]string{"-in", in, "-dir", shards,
+		"-n", "6", "-r", "4", "-m", "2", "-s", "1", "-sector", "512", "-depth", "4"}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	mf, err := readManifest(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Stripes < 8 {
+		t.Fatalf("test needs >=8 stripes in flight, got %d", mf.Stripes)
+	}
+	for _, j := range []int{0, 3} {
+		if err := os.Remove(filepath.Join(shards, diskFileName(j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runDecode([]string{"-dir", shards, "-out", out, "-depth", "4"}); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("restored file differs from the original")
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+}
+
+// TestEncodeEmptyFile: a zero-byte input still produces a decodable
+// one-stripe archive.
+func TestEncodeEmptyFile(t *testing.T) {
+	work := t.TempDir()
+	in := filepath.Join(work, "empty.bin")
+	if err := os.WriteFile(in, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shards := filepath.Join(work, "shards")
+	out := filepath.Join(work, "restored.bin")
+	if err := runEncode([]string{"-in", in, "-dir", shards,
+		"-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("restored %d bytes from an empty input", len(restored))
+	}
+}

@@ -49,6 +49,16 @@ func readManifest(dir string) (manifest, error) {
 	if mf.N < 2 || mf.R < 1 || mf.SectorSize < 4 || mf.Stripes < 1 || mf.FileSize < 0 {
 		return manifest{}, fmt.Errorf("manifest is inconsistent: %+v", mf)
 	}
+	if mf.M < 0 || mf.S < 0 {
+		return manifest{}, fmt.Errorf("manifest is inconsistent: m=%d s=%d", mf.M, mf.S)
+	}
+	if _, err := gf.ForWord(mf.Word); err != nil {
+		return manifest{}, fmt.Errorf("manifest names an unsupported field: %w", err)
+	}
+	if len(mf.Coeffs) != mf.M+mf.S {
+		return manifest{}, fmt.Errorf("manifest has %d coding coefficients, want m+s = %d",
+			len(mf.Coeffs), mf.M+mf.S)
+	}
 	return mf, nil
 }
 
@@ -68,10 +78,20 @@ type diskStore struct {
 	dir string
 	mf  manifest
 	fh  []*os.File // index by disk; nil when missing/unreadable
+	buf []byte     // one strip of scratch, reused across stripes
 }
 
+// openStore opens every strip file and allocates the store's single
+// strip-sized scratch buffer. readStripe and writeStripe share it, so a
+// store must not serve reads and writes from different goroutines at
+// once — the ppmfile commands either only read (decode fill stage,
+// verify, scrub) or only write (encode drain stage) through it.
 func openStore(dir string, mf manifest, write bool) (*diskStore, error) {
-	ds := &diskStore{dir: dir, mf: mf, fh: make([]*os.File, mf.N)}
+	ds := &diskStore{
+		dir: dir, mf: mf,
+		fh:  make([]*os.File, mf.N),
+		buf: make([]byte, mf.R*mf.SectorSize),
+	}
 	for j := 0; j < mf.N; j++ {
 		path := filepath.Join(dir, diskFileName(j))
 		var f *os.File
@@ -110,7 +130,7 @@ func (ds *diskStore) stripBytes() int { return ds.mf.R * ds.mf.SectorSize }
 // readStripe loads stripe number idx into st; missing disks' sectors
 // are left zeroed.
 func (ds *diskStore) readStripe(idx int, st *stripe.Stripe) error {
-	buf := make([]byte, ds.stripBytes())
+	buf := ds.buf
 	for j, f := range ds.fh {
 		if f == nil {
 			continue
@@ -127,7 +147,7 @@ func (ds *diskStore) readStripe(idx int, st *stripe.Stripe) error {
 
 // writeStripe appends stripe idx from st to every open strip file.
 func (ds *diskStore) writeStripe(idx int, st *stripe.Stripe) error {
-	buf := make([]byte, ds.stripBytes())
+	buf := ds.buf
 	for j, f := range ds.fh {
 		if f == nil {
 			continue

@@ -80,6 +80,7 @@ func Registry() []Experiment {
 		{ID: "encode", Title: "Encoding speed, traditional vs PPM (extension)", Run: runEncodeExp},
 		{ID: "ablation", Title: "Mechanism ablation: trad / block-par / ppm-T1 / ppm (extension)", Run: runAblation},
 		{ID: "degraded", Title: "Degraded-read latency under load: LRC vs RS vs SD (extension)", Run: runDegraded},
+		{ID: "pipeline", Title: "Batch pipeline vs serial per-stripe loop (extension)", Run: runPipelineExp},
 	}
 }
 

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/pipeline"
+	"ppm/internal/stripe"
+)
+
+// runPipelineExp measures the multi-stripe batch path (extension): a
+// whole-disk rebuild decodes many identically-failed stripes, so the
+// experiment compares the fixed serial per-stripe loop against the
+// streaming pipeline's Batch entry point at increasing in-flight
+// depths, for encode and for a two-disk rebuild. One plan serves every
+// stripe in both paths; the pipeline additionally shards stripes across
+// the worker pool and keeps Depth of them in flight. On a single-core
+// host the in-memory batch is compute-bound and the depths tie — the
+// pipeline's I/O-overlap gains are measured by cmd/benchpipeline
+// against a latency-modelled store.
+func runPipelineExp(w io.Writer, cfg Config) error {
+	sd, err := codes.NewSD(8, 16, 2, 2)
+	if err != nil {
+		return err
+	}
+	numStripes := 32
+	if cfg.Quick {
+		numStripes = 12
+	}
+	// Size stripes so the batch roughly totals the configured stripe
+	// bytes: the figure experiments' working-set scale, split into a
+	// rebuild-shaped batch.
+	st0, err := stripe.ForCode(sd, cfg.StripeBytes/numStripes)
+	if err != nil {
+		return err
+	}
+	sectorSize := st0.SectorSize()
+
+	batch := make([]*stripe.Stripe, numStripes)
+	for i := range batch {
+		st, err := stripe.New(sd.NumStrips(), sd.NumRows(), sectorSize)
+		if err != nil {
+			return err
+		}
+		st.FillDataRandom(cfg.Seed+int64(i), codes.DataPositions(sd))
+		batch[i] = st
+	}
+
+	var faulty []int
+	for row := 0; row < sd.NumRows(); row++ {
+		for _, d := range []int{1, 4} {
+			faulty = append(faulty, row*sd.NumStrips()+d)
+		}
+	}
+	rebuild, err := codes.NewScenario(sd, faulty)
+	if err != nil {
+		return err
+	}
+
+	totalBytes := numStripes * batch[0].TotalBytes()
+	fprintf(w, "Batch pipeline vs serial loop: %s, %d stripes x %d KiB (%s)\n",
+		sd.Name(), numStripes, batch[0].TotalBytes()>>10, "encode + 2-disk rebuild")
+	tw := newTabWriter(w)
+	fprintf(tw, "op\tpath\tstripes/s\tMB/s\n")
+
+	type variant struct {
+		name string
+		run  func(sc codes.Scenario) error
+	}
+	variants := []variant{
+		{"serial", func(sc codes.Scenario) error {
+			_, err := pipeline.Serial(sd, sc, 0, pipeline.Config{}, pipeline.SliceSource(batch), pipeline.NopSink{})
+			return err
+		}},
+	}
+	for _, depth := range []int{1, 2, 4, 8} {
+		depth := depth
+		variants = append(variants, variant{fmt.Sprintf("pipeline d=%d", depth), func(sc codes.Scenario) error {
+			return pipeline.Batch(sd, sc, batch, pipeline.Config{Depth: depth})
+		}})
+	}
+
+	ops := []struct {
+		name string
+		sc   codes.Scenario
+		prep func(i int)
+	}{
+		{"encode", codes.EncodingScenario(sd), nil},
+		{"rebuild", rebuild, func(i int) {
+			for s, st := range batch {
+				st.Scribble(cfg.Seed+int64(1000*i+s), rebuild.Faulty)
+			}
+		}},
+	}
+	iters := cfg.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	for _, op := range ops {
+		for _, v := range variants {
+			best := time.Duration(0)
+			for i := -1; i < iters; i++ { // one warm-up pass
+				if op.prep != nil {
+					op.prep(i)
+				}
+				start := time.Now()
+				if err := v.run(op.sc); err != nil {
+					return fmt.Errorf("%s/%s: %w", op.name, v.name, err)
+				}
+				if elapsed := time.Since(start); i >= 0 && (best == 0 || elapsed < best) {
+					best = elapsed
+				}
+			}
+			fprintf(tw, "%s\t%s\t%.1f\t%.1f\n", op.name, v.name,
+				float64(numStripes)/best.Seconds(), float64(totalBytes)/1e6/best.Seconds())
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,396 @@
+// Package pipeline is the streaming multi-stripe engine: it compiles a
+// code's decode (or encode) plan once and then drives an unbounded
+// sequence of stripes through a bounded three-stage pipeline —
+// fill → compute → drain — so that I/O for stripe i+1 overlaps the
+// compute of stripe i and the plan/schedule cost is amortised across
+// the whole stream.
+//
+// The stages are connected by fixed-capacity channels carrying a fixed
+// set of pre-allocated jobs (stripe slabs plus bookkeeping), so the
+// engine exerts backpressure instead of queueing without bound and the
+// steady state performs zero heap allocations per stripe. Compute is
+// sharded stripe-by-stripe across the persistent kernel.Workers pool;
+// per-stripe scratch comes from the core executor's pools.
+//
+// Output is strictly in stripe order no matter how compute completes,
+// and the error contract matches the executors': the failure with the
+// lowest stripe index wins, deterministically, whether it came from the
+// fill, compute or drain stage.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/kernel"
+	"ppm/internal/stripe"
+)
+
+// Source produces the stripes the engine processes, in index order.
+// Next either fills slab (the engine's pre-allocated buffer) and
+// returns it, or returns a caller-owned stripe to process in place
+// (the batch path; slab is nil when the engine was built without
+// slabs). Returning (nil, nil) ends the stream. Next runs on the
+// engine's fill goroutine, never concurrently with itself.
+type Source interface {
+	Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error)
+}
+
+// Sink consumes processed stripes. Drain is called exactly once per
+// successful stripe, in strictly increasing index order, from the
+// goroutine that called Run — never concurrently with itself.
+type Sink interface {
+	Drain(idx int, st *stripe.Stripe) error
+}
+
+// DefaultDepth is the default number of in-flight stripes.
+const DefaultDepth = 4
+
+// Config tunes an Engine.
+type Config struct {
+	// Depth bounds the number of stripes in flight (and the number of
+	// stripe slabs the engine allocates). Depth 1 degenerates to a
+	// serial loop with the plan still amortised; <= 0 selects
+	// DefaultDepth.
+	Depth int
+	// Workers is the number of compute shards pulling stripes off the
+	// fill stage; <= 0 selects min(Depth, NumCPU). Each shard occupies
+	// one kernel.Workers slot for the engine's lifetime.
+	Workers int
+	// Threads is the per-stripe worker count for the plan's parallel
+	// phase; <= 0 selects 1 (the pipeline parallelises across stripes,
+	// not within them).
+	Threads int
+	// Strategy selects the planning policy (default StrategyPPM).
+	Strategy core.Strategy
+	// Stats, when non-nil, accumulates mult_XORs across the stream.
+	Stats *kernel.Stats
+}
+
+// job is one in-flight stripe. The engine pre-allocates Depth jobs and
+// recycles them through the free list; nothing per-stripe is allocated
+// after New.
+type job struct {
+	idx  int
+	slab *stripe.Stripe // engine-owned buffer (nil in slab-less engines)
+	st   *stripe.Stripe // the stripe being processed (slab or caller's)
+	done chan error     // compute/fill outcome, capacity 1
+}
+
+// Engine is a reusable streaming pipeline bound to one code instance
+// and one failure scenario. Build it once, Run it over any number of
+// streams, Close it when finished. An Engine is not safe for concurrent
+// Runs; distinct Engines are independent.
+type Engine struct {
+	code codes.Code
+	sc   codes.Scenario
+	dec  *core.Decoder
+	plan *core.Plan // nil for the empty scenario: a pure passthrough
+	cfg  Config
+
+	free  chan *job     // recycled jobs (capacity Depth)
+	work  chan *job     // fill → compute (capacity Depth)
+	order chan *job     // fill → drain, in index order (capacity Depth+1)
+	start chan struct{} // Run → fill stage wake-up
+
+	sentinel *job // end-of-stream marker on order
+
+	// Per-run state, published to the fill goroutine via the start
+	// channel send (happens-before its receive).
+	src  Source
+	ctx  context.Context
+	stop atomic.Bool
+
+	closed bool
+
+	// Test hooks (same-package tests only): testDelay stalls a stripe's
+	// compute to force out-of-order completion; testFail injects a
+	// compute error for chosen indices.
+	testDelay func(idx int)
+	testFail  func(idx int) error
+}
+
+// New builds an engine for one code + scenario pair, compiling the plan
+// once. sectorSize > 0 allocates Depth stripe slabs of that geometry
+// for sources that fill buffers; sectorSize == 0 builds a slab-less
+// engine for sources that hand over caller-owned stripes (the batch
+// path). The scenario may be empty, in which case the compute stage is
+// a passthrough (useful for overlapped read/extract with no repair).
+func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, error) {
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Depth
+		if n := runtime.NumCPU(); cfg.Workers > n {
+			cfg.Workers = n
+		}
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if sectorSize > 0 && sectorSize%c.Field().WordBytes() != 0 {
+		return nil, fmt.Errorf("pipeline: sector size %d not a multiple of GF(2^%d) words",
+			sectorSize, c.Field().W())
+	}
+
+	e := &Engine{
+		code:     c,
+		sc:       sc,
+		cfg:      cfg,
+		free:     make(chan *job, cfg.Depth),
+		work:     make(chan *job, cfg.Depth),
+		order:    make(chan *job, cfg.Depth+1),
+		start:    make(chan struct{}),
+		sentinel: &job{},
+	}
+	e.dec = core.NewDecoder(c,
+		core.WithThreads(cfg.Threads),
+		core.WithStrategy(cfg.Strategy),
+		core.WithStats(cfg.Stats))
+	if len(sc.Faulty) > 0 {
+		plan, err := core.BuildPlan(c, sc, cfg.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		e.plan = plan
+	}
+	for i := 0; i < cfg.Depth; i++ {
+		j := &job{done: make(chan error, 1)}
+		if sectorSize > 0 {
+			slab, err := stripe.New(c.NumStrips(), c.NumRows(), sectorSize)
+			if err != nil {
+				return nil, err
+			}
+			j.slab = slab
+		}
+		e.free <- j
+	}
+
+	go e.fillLoop()
+	// The compute shards ride the persistent kernel pool: each shard
+	// claims one pool worker (falling back to the launcher goroutine
+	// when the pool is saturated — Run never deadlocks on a busy pool)
+	// and serves stripes until Close.
+	go func() {
+		_ = kernel.DefaultWorkers().Run(cfg.Workers, func(int) error {
+			e.computeLoop()
+			return nil
+		})
+	}()
+	return e, nil
+}
+
+// Plan returns the compiled plan (nil for the empty scenario), for
+// inspection and cost analysis.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// Close shuts the engine's stage goroutines down and releases its pool
+// slots. Close must not be called while a Run is in progress; it is
+// idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.start)
+	close(e.work)
+}
+
+// Run drives one stream through the pipeline and reports the number of
+// stripes drained. See RunContext.
+func (e *Engine) Run(src Source, dst Sink) (int, error) {
+	return e.RunContext(context.Background(), src, dst)
+}
+
+// RunContext drives one stream through the pipeline: Source stripes are
+// filled Depth ahead, computed across the worker shards, and drained
+// strictly in stripe order. The first failure (lowest stripe index,
+// whether from fill, compute or drain) stops intake, drains everything
+// in flight, and is returned with the stripe index attached. Cancelling
+// the context stops intake at the next stripe boundary and drains
+// cleanly; ctx.Err() is returned unless an earlier-indexed stage
+// failure takes precedence. After Run returns — error or not — the
+// engine is reusable.
+func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, error) {
+	if e.closed {
+		return 0, fmt.Errorf("pipeline: engine is closed")
+	}
+	e.src = src
+	e.ctx = ctx
+	e.stop.Store(false)
+	e.start <- struct{}{}
+
+	var firstErr error
+	done := ctx.Done()
+	drained := 0
+	for {
+		j := <-e.order
+		if j == e.sentinel {
+			break
+		}
+		err := <-j.done
+		if firstErr == nil && err != nil {
+			firstErr = fmt.Errorf("pipeline: stripe %d: %w", j.idx, err)
+			e.stop.Store(true)
+		}
+		if firstErr == nil {
+			select {
+			case <-done:
+				firstErr = ctx.Err()
+				e.stop.Store(true)
+			default:
+			}
+		}
+		if firstErr == nil {
+			if derr := dst.Drain(j.idx, j.st); derr != nil {
+				firstErr = fmt.Errorf("pipeline: stripe %d: %w", j.idx, derr)
+				e.stop.Store(true)
+			} else {
+				drained++
+			}
+		}
+		j.st = nil // do not pin caller stripes across runs
+		e.free <- j
+	}
+	if firstErr == nil {
+		// The fill stage may have stopped on cancellation before any
+		// stripe reached the drain stage.
+		select {
+		case <-done:
+			firstErr = ctx.Err()
+		default:
+		}
+	}
+	return drained, firstErr
+}
+
+// fillLoop is the persistent fill stage: one iteration per Run.
+func (e *Engine) fillLoop() {
+	for range e.start {
+		e.fillOne()
+	}
+}
+
+// fillOne pulls free jobs, asks the Source for stripes in index order,
+// and hands them to compute and (in order) to the drain stage. It stops
+// on end-of-stream, source error, context cancellation, or the stop
+// flag (set by the drain stage on failure), then posts the sentinel.
+func (e *Engine) fillOne() {
+	done := e.ctx.Done()
+	for idx := 0; ; idx++ {
+		if e.stop.Load() {
+			break
+		}
+		var j *job
+		select {
+		case j = <-e.free:
+		case <-done:
+			// Cancelled while every slab is in flight; the drain stage
+			// observes ctx itself.
+			j = nil
+		}
+		if j == nil {
+			break
+		}
+		st, err := e.src.Next(idx, j.slab)
+		if err != nil {
+			// A fill failure takes the job's error slot straight to the
+			// drain stage; compute never sees it.
+			j.idx, j.st = idx, nil
+			j.done <- err
+			e.order <- j
+			break
+		}
+		if st == nil {
+			e.free <- j // unused
+			break
+		}
+		j.idx, j.st = idx, st
+		e.work <- j
+		e.order <- j
+	}
+	e.order <- e.sentinel
+}
+
+// computeLoop is one compute shard: it applies the compiled plan to
+// stripes until Close. Once a run is stopping (error or cancellation),
+// remaining stripes pass through unprocessed — the drain stage discards
+// their results anyway.
+func (e *Engine) computeLoop() {
+	for j := range e.work {
+		if e.stop.Load() {
+			j.done <- nil
+			continue
+		}
+		j.done <- e.compute(j)
+	}
+}
+
+func (e *Engine) compute(j *job) error {
+	if e.testDelay != nil {
+		e.testDelay(j.idx)
+	}
+	if e.testFail != nil {
+		if err := e.testFail(j.idx); err != nil {
+			return err
+		}
+	}
+	if e.plan == nil {
+		return nil
+	}
+	return e.dec.DecodeWithPlan(e.plan, j.st)
+}
+
+// Serial is the fixed serial per-stripe loop the pipeline is compared
+// against: one slab, one decoder, the plan compiled once — but fill,
+// compute and drain strictly in sequence on the calling goroutine with
+// no overlap. It is the honest single-goroutine baseline for the
+// throughput benchmark (and a convenient fallback where goroutines are
+// unwelcome). The stripe count and Source/Sink contracts match Run's.
+func Serial(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config, src Source, dst Sink) (int, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	dec := core.NewDecoder(c,
+		core.WithThreads(cfg.Threads),
+		core.WithStrategy(cfg.Strategy),
+		core.WithStats(cfg.Stats))
+	var plan *core.Plan
+	if len(sc.Faulty) > 0 {
+		p, err := core.BuildPlan(c, sc, cfg.Strategy)
+		if err != nil {
+			return 0, fmt.Errorf("pipeline: %w", err)
+		}
+		plan = p
+	}
+	var slab *stripe.Stripe
+	if sectorSize > 0 {
+		s, err := stripe.New(c.NumStrips(), c.NumRows(), sectorSize)
+		if err != nil {
+			return 0, err
+		}
+		slab = s
+	}
+	for idx := 0; ; idx++ {
+		st, err := src.Next(idx, slab)
+		if err != nil {
+			return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
+		}
+		if st == nil {
+			return idx, nil
+		}
+		if plan != nil {
+			if err := dec.DecodeWithPlan(plan, st); err != nil {
+				return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
+			}
+		}
+		if err := dst.Drain(idx, st); err != nil {
+			return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
+		}
+	}
+}

@@ -1,0 +1,518 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/decode"
+	"ppm/internal/stripe"
+)
+
+func testSD(t *testing.T) *codes.SD {
+	t.Helper()
+	sd, err := codes.NewSD(6, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sd
+}
+
+// payload returns size deterministic pseudo-random bytes.
+func payload(size int) []byte {
+	data := make([]byte, size)
+	rand.New(rand.NewSource(7)).Read(data)
+	return data
+}
+
+// encodeSerialImages encodes data with the fixed serial loop and
+// returns the stream image bytes — the reference the pipeline's output
+// must match byte for byte.
+func encodeSerialImages(t *testing.T, c codes.Code, data []byte, sectorSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	src := &readerSource{r: bytes.NewReader(data), data: codes.DataPositions(c)}
+	if _, err := Serial(c, codes.EncodingScenario(c), sectorSize, Config{}, src, &imageSink{w: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamRoundTrip pins the full streaming path: EncodeStream's
+// output is byte-identical to the serial loop's, and after scribbling
+// over two whole disks' bytes in the stream, DecodeStream recovers the
+// exact payload — including a non-stripe-aligned tail.
+func TestStreamRoundTrip(t *testing.T) {
+	sd := testSD(t)
+	const sector = 256
+	// 11.5 stripes of payload: the tail exercises zero-padding and trim.
+	perStripe := len(codes.DataPositions(sd)) * sector
+	data := payload(perStripe*11 + perStripe/2)
+
+	want := encodeSerialImages(t, sd, data, sector)
+
+	var enc bytes.Buffer
+	res, err := EncodeStream(sd, &enc, bytes.NewReader(data), sector, Config{Depth: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != int64(len(data)) {
+		t.Fatalf("consumed %d bytes, want %d", res.Bytes, len(data))
+	}
+	if !bytes.Equal(enc.Bytes(), want) {
+		t.Fatal("pipeline encode output differs from the serial loop's")
+	}
+
+	// Lose disks 1 and 4: scribble their bytes in every stripe image.
+	images := append([]byte(nil), enc.Bytes()...)
+	var faulty []int
+	for row := 0; row < sd.NumRows(); row++ {
+		for _, d := range []int{1, 4} {
+			faulty = append(faulty, row*sd.NumStrips()+d)
+		}
+	}
+	stripeBytes := sd.NumStrips() * sd.NumRows() * sector
+	for off := 0; off < len(images); off += stripeBytes {
+		for _, f := range faulty {
+			rand.New(rand.NewSource(int64(off + f))).Read(images[off+f*sector : off+(f+1)*sector])
+		}
+	}
+	sc, err := codes.NewScenario(sd, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dec bytes.Buffer
+	dres, err := DecodeStream(sd, &dec, bytes.NewReader(images), sc, int64(len(data)), sector, Config{Depth: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Stripes != res.Stripes {
+		t.Fatalf("decoded %d stripes, encoded %d", dres.Stripes, res.Stripes)
+	}
+	if !bytes.Equal(dec.Bytes(), data) {
+		t.Fatal("decoded payload differs from the original")
+	}
+}
+
+// TestDecodeStreamPassthrough: the empty scenario extracts an intact
+// stream with no compute.
+func TestDecodeStreamPassthrough(t *testing.T) {
+	sd := testSD(t)
+	const sector = 128
+	data := payload(3000)
+	images := encodeSerialImages(t, sd, data, sector)
+	var out bytes.Buffer
+	if _, err := DecodeStream(sd, &out, bytes.NewReader(images), codes.Scenario{}, int64(len(data)), sector, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("passthrough extract corrupted the payload")
+	}
+}
+
+// recordSink records the drain order.
+type recordSink struct {
+	mu   sync.Mutex
+	idxs []int
+}
+
+func (s *recordSink) Drain(idx int, _ *stripe.Stripe) error {
+	s.mu.Lock()
+	s.idxs = append(s.idxs, idx)
+	s.mu.Unlock()
+	return nil
+}
+
+// constSource produces count stripes without touching the slab.
+type constSource struct{ count int }
+
+func (s *constSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= s.count {
+		return nil, nil
+	}
+	return slab, nil
+}
+
+// TestInOrderUnderOutOfOrderCompletion forces compute completion in
+// roughly reverse index order (earlier stripes stall longer across 4
+// shards) and checks the sink still sees strictly increasing indices.
+func TestInOrderUnderOutOfOrderCompletion(t *testing.T) {
+	sd := testSD(t)
+	const stripes = 12
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var mu sync.Mutex
+	var completed []int
+	e.testDelay = func(idx int) {
+		if idx < 8 {
+			time.Sleep(time.Duration(8-idx) * 5 * time.Millisecond)
+		}
+		mu.Lock()
+		completed = append(completed, idx)
+		mu.Unlock()
+	}
+
+	sink := &recordSink{}
+	n, err := e.Run(&constSource{count: stripes}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != stripes {
+		t.Fatalf("drained %d stripes, want %d", n, stripes)
+	}
+	for i, idx := range sink.idxs {
+		if idx != i {
+			t.Fatalf("drain order %v is not the stripe order", sink.idxs)
+		}
+	}
+	// Sanity: the schedule above really did complete out of order
+	// (stripe 1 must finish before stripe 0 given 4 concurrent shards
+	// and a 35ms spread).
+	mu.Lock()
+	defer mu.Unlock()
+	inOrder := true
+	for i := 1; i < len(completed); i++ {
+		if completed[i] < completed[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Log("warning: compute completed in order; reordering not exercised this run")
+	}
+}
+
+// TestLowestIndexComputeErrorWins injects compute failures at stripes 2
+// and 5, with 5 completing first; the reported error must carry stripe
+// 2, and only stripes 0 and 1 may drain.
+func TestLowestIndexComputeErrorWins(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	boom2, boom5 := errors.New("boom at 2"), errors.New("boom at 5")
+	e.testDelay = func(idx int) {
+		if idx == 2 {
+			time.Sleep(20 * time.Millisecond) // let stripe 5 fail first
+		}
+	}
+	e.testFail = func(idx int) error {
+		switch idx {
+		case 2:
+			return boom2
+		case 5:
+			return boom5
+		}
+		return nil
+	}
+
+	sink := &recordSink{}
+	n, err := e.Run(&constSource{count: 10}, sink)
+	if err == nil {
+		t.Fatal("injected failures, Run returned nil")
+	}
+	if !errors.Is(err, boom2) {
+		t.Fatalf("got %v, want the stripe-2 error", err)
+	}
+	if !strings.Contains(err.Error(), "stripe 2") {
+		t.Fatalf("error %q does not name stripe 2", err)
+	}
+	if n != 2 {
+		t.Fatalf("drained %d stripes after a stripe-2 failure, want 2", n)
+	}
+}
+
+// failSource errors at a chosen index.
+type failSource struct {
+	at  int
+	err error
+}
+
+func (s *failSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx == s.at {
+		return nil, s.err
+	}
+	return slab, nil
+}
+
+// TestFillErrorPropagates: a source failure carries its stripe index
+// and stops intake after draining the preceding stripes.
+func TestFillErrorPropagates(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	boom := errors.New("read failed")
+	sink := &recordSink{}
+	n, err := e.Run(&failSource{at: 3, err: boom}, sink)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the injected read error", err)
+	}
+	if !strings.Contains(err.Error(), "stripe 3") {
+		t.Fatalf("error %q does not name stripe 3", err)
+	}
+	if n != 3 {
+		t.Fatalf("drained %d stripes, want 3", n)
+	}
+}
+
+// errSink fails at a chosen index.
+type errSink struct {
+	at  int
+	err error
+	n   int
+}
+
+func (s *errSink) Drain(idx int, _ *stripe.Stripe) error {
+	if idx == s.at {
+		return s.err
+	}
+	s.n++
+	return nil
+}
+
+// TestDrainErrorStops: a sink failure carries its stripe index too.
+func TestDrainErrorStops(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	boom := errors.New("write failed")
+	sink := &errSink{at: 2, err: boom}
+	n, err := e.Run(&constSource{count: 8}, sink)
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "stripe 2") {
+		t.Fatalf("got %v, want the stripe-2 write error", err)
+	}
+	if n != 2 {
+		t.Fatalf("drained %d stripes, want 2", n)
+	}
+}
+
+// slowSink paces the drain stage so a cancellation lands mid-stream.
+type slowSink struct {
+	after   int
+	cancel  context.CancelFunc
+	drained int
+}
+
+func (s *slowSink) Drain(idx int, _ *stripe.Stripe) error {
+	s.drained++
+	if s.drained == s.after {
+		s.cancel()
+	}
+	return nil
+}
+
+// TestCancellationDrainsCleanly cancels mid-stream and checks the run
+// stops with ctx.Err(), every job returns to the free list, and the
+// engine stays usable.
+func TestCancellationDrainsCleanly(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &slowSink{after: 5, cancel: cancel}
+	n, err := e.RunContext(ctx, &constSource{count: 1 << 30}, sink) // effectively unbounded
+	_ = n
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := len(e.free); got != e.cfg.Depth {
+		t.Fatalf("%d of %d jobs returned to the free list", got, e.cfg.Depth)
+	}
+
+	// The engine is reusable after cancellation.
+	sink2 := &recordSink{}
+	n, err = e.Run(&constSource{count: 6}, sink2)
+	if err != nil || n != 6 {
+		t.Fatalf("post-cancel run: n=%d err=%v, want 6 stripes clean", n, err)
+	}
+	if got := len(e.free); got != e.cfg.Depth {
+		t.Fatalf("%d of %d jobs returned to the free list after reuse", got, e.cfg.Depth)
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before Run drains
+// nothing but still returns cleanly.
+func TestRunContextPreCancelled(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, &constSource{count: 100}, &recordSink{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := len(e.free); got != e.cfg.Depth {
+		t.Fatalf("%d of %d jobs returned to the free list", got, e.cfg.Depth)
+	}
+}
+
+// TestEngineReuseAfterError: a failed run leaves the engine consistent.
+func TestEngineReuseAfterError(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if _, err := e.Run(&failSource{at: 1, err: errors.New("x")}, &recordSink{}); err == nil {
+		t.Fatal("injected failure not reported")
+	}
+	sink := &recordSink{}
+	n, err := e.Run(&constSource{count: 5}, sink)
+	if err != nil || n != 5 {
+		t.Fatalf("post-error run: n=%d err=%v", n, err)
+	}
+}
+
+// TestClosedEngineRejectsRun: Run after Close errors instead of
+// deadlocking or panicking.
+func TestClosedEngineRejectsRun(t *testing.T) {
+	sd := testSD(t)
+	e, err := New(sd, codes.EncodingScenario(sd), 64, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Run(&constSource{count: 1}, &recordSink{}); err == nil {
+		t.Fatal("Run on a closed engine succeeded")
+	}
+}
+
+// TestBatchEncodeDecode: Batch encodes a set of stripes identically to
+// the traditional encoder and decodes a two-disk loss back to the
+// original content, in place.
+func TestBatchEncodeDecode(t *testing.T) {
+	sd := testSD(t)
+	const sector = 512
+	const stripes = 9
+
+	batch := make([]*stripe.Stripe, stripes)
+	want := make([]*stripe.Stripe, stripes)
+	for i := range batch {
+		st, err := stripe.New(sd.NumStrips(), sd.NumRows(), sector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.FillDataRandom(int64(i), codes.DataPositions(sd))
+		batch[i] = st
+		ref := st.Clone()
+		if err := decode.Encode(sd, ref, decode.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref
+	}
+
+	if err := Batch(sd, codes.EncodingScenario(sd), batch, Config{Depth: 4, Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if !batch[i].Equal(want[i]) {
+			t.Fatalf("batch-encoded stripe %d differs from the traditional encoder", i)
+		}
+	}
+
+	// Lose two disks across the whole batch and repair it in place.
+	var faulty []int
+	for row := 0; row < sd.NumRows(); row++ {
+		for _, d := range []int{0, 3} {
+			faulty = append(faulty, row*sd.NumStrips()+d)
+		}
+	}
+	sc, err := codes.NewScenario(sd, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range batch {
+		st.Scribble(int64(100+i), faulty)
+	}
+	if err := Batch(sd, sc, batch, Config{Depth: 4, Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if !batch[i].Equal(want[i]) {
+			t.Fatalf("batch-decoded stripe %d differs from the original", i)
+		}
+	}
+}
+
+// TestBatchGeometryMismatch: a stripe that does not match the code
+// geometry is reported with its index, not executed.
+func TestBatchGeometryMismatch(t *testing.T) {
+	sd := testSD(t)
+	good, err := stripe.New(sd.NumStrips(), sd.NumRows(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := stripe.New(sd.NumStrips()+1, sd.NumRows(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Batch(sd, codes.EncodingScenario(sd), []*stripe.Stripe{good, bad}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "stripe 1") {
+		t.Fatalf("got %v, want a stripe-1 geometry error", err)
+	}
+}
+
+// TestConcurrentEngines runs several engines over the shared worker
+// pool at once — the -race check for the concurrency layer.
+func TestConcurrentEngines(t *testing.T) {
+	sd := testSD(t)
+	const sector = 128
+	data := payload(len(codes.DataPositions(sd)) * sector * 6)
+	want := encodeSerialImages(t, sd, data, sector)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if _, err := EncodeStream(sd, &buf, bytes.NewReader(data), sector, Config{Depth: 3, Workers: 2}); err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				errs[g] = fmt.Errorf("goroutine %d: stream output differs", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
