@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline experiments paper fmt vet check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline experiments paper fmt fmt-check vet lint fuzz-smoke checkptr check clean
 
 all: check
 
@@ -47,13 +47,38 @@ experiments:
 paper:
 	$(GO) run ./cmd/ppmbench -exp all -paper
 
+# fmt rewrites in place; fmt-check only lists and fails, for CI.
 fmt:
-	gofmt -l -w .
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# The repository's own analyzers: hot-path allocations, goroutine error
+# routing, gf region-call contracts, stats accounting, no-copy types.
+lint:
+	$(GO) run ./cmd/ppmlint ./...
+
+# Short differential-fuzz burst over every fuzz target. Each target
+# needs its own `go test -fuzz` invocation (the tool refuses multiple
+# matches), so the list is explicit.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzMulAgainstReference -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzRegionOps -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzFusedAgainstScalar -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bitmatrix -run=^$$ -fuzz=FuzzExpandApply -fuzztime=$(FUZZTIME)
+
+# Pointer-safety instrumentation over the packages that sit on the
+# Go/assembly boundary.
+checkptr:
+	$(GO) test -gcflags=all=-d=checkptr ./internal/gf ./internal/kernel
+
+check: build fmt-check vet lint test race
 
 clean:
 	$(GO) clean ./...

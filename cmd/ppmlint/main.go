@@ -1,0 +1,74 @@
+// Command ppmlint is the multichecker driver for the repository's
+// static-analysis suite (internal/lint). It enforces the invariants
+// the performance work depends on: allocation-free //ppm:hotpath
+// regions, goroutine error routing in the concurrency packages,
+// region-operation argument discipline, mult_XORs accounting, and
+// no-copy session/arena types.
+//
+// Usage:
+//
+//	ppmlint [-checks list] [-list] [packages...]
+//
+// Packages default to ./... in the current directory. The exit status
+// is 1 when any diagnostic is reported, so `make lint` fails the build
+// on a violation; intentional deviations are suppressed in the source
+// with `//ppm:allow(<analyzer>) <reason>` — the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppm/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ppmlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ppmlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppmlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ppmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+package bitmatrix
+
+import (
+	"bytes"
+	"testing"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// FuzzExpandApply drives arbitrary coefficient matrices through the
+// bit-matrix pipeline and cross-checks both the raw schedule and the
+// CSE-optimized schedule against scalar GF(2^8) matrix-vector
+// multiplication. The fuzzer owns the whole back end: Expand, Apply,
+// Optimize, PackSymbols and UnpackSymbols all sit on the checked path.
+// (Runs its seed corpus under plain `go test`; explore with
+// `go test -fuzz FuzzExpandApply`.)
+func FuzzExpandApply(f *testing.F) {
+	f.Add(uint8(1), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), uint8(3), []byte{0xAB, 0xCD, 1, 0, 0xFF, 3, 9, 27, 81, 0x1D})
+	f.Add(uint8(4), uint8(4), bytes.Repeat([]byte{0x55, 0xAA}, 12))
+
+	field := gf.GF8
+	const w = 8
+	f.Fuzz(func(t *testing.T, r, c uint8, raw []byte) {
+		rows := int(r%4) + 1
+		cols := int(c%4) + 1
+		need := rows*cols + cols*8 // coefficients, then 8 symbols per column
+		if len(raw) < need {
+			return
+		}
+		m := matrix.New(field, rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, uint32(raw[i*cols+j]))
+			}
+		}
+		symbols := make([]uint32, cols*8) // 8 symbols per input: PackSymbols needs a multiple of 8
+		for i := range symbols {
+			symbols[i] = uint32(raw[rows*cols+i])
+		}
+
+		// Scalar reference: out[i*8+t] = sum_j m[i][j] * in[j*8+t].
+		want := make([]uint32, rows*8)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a := m.At(i, j)
+				for s := 0; s < 8; s++ {
+					want[i*8+s] ^= field.Mul(a, symbols[j*8+s])
+				}
+			}
+		}
+
+		bm := Expand(field, m)
+		in := make([][]byte, 0, cols*w)
+		for j := 0; j < cols; j++ {
+			packets, err := PackSymbols(symbols[j*8:(j+1)*8], w)
+			if err != nil {
+				t.Fatalf("PackSymbols: %v", err)
+			}
+			in = append(in, packets...)
+		}
+		unpack := func(out [][]byte) []uint32 {
+			got := make([]uint32, 0, rows*8)
+			for i := 0; i < rows; i++ {
+				got = append(got, UnpackSymbols(out[i*w:(i+1)*w], w)...)
+			}
+			return got
+		}
+
+		out := AllocPackets(rows*w, 1)
+		bm.Apply(in, out)
+		if got := unpack(out); !equalU32(got, want) {
+			t.Fatalf("Apply: got %v want %v (matrix %dx%d)", got, want, rows, cols)
+		}
+
+		sched := bm.Optimize()
+		out2 := AllocPackets(rows*w, 1)
+		sched.Apply(in, out2)
+		if got := unpack(out2); !equalU32(got, want) {
+			t.Fatalf("Optimize().Apply: got %v want %v (matrix %dx%d)", got, want, rows, cols)
+		}
+		if sched.XORs() > bm.Ones() {
+			t.Fatalf("optimized schedule uses %d XORs, raw uses %d", sched.XORs(), bm.Ones())
+		}
+	})
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -18,6 +18,8 @@ import (
 //
 // A session is owned by exactly one Execute call; the stripe views it
 // holds are cleared on release so the pool never pins stripe buffers.
+//
+//ppm:nocopy
 type execSession struct {
 	views [][]byte
 	used  int
@@ -135,9 +137,12 @@ func (sd *SubDecode) validate(inN, outN int) error {
 // views. Shape mismatches and kernel panics come back as errors — the
 // executors' contract is that a failing sub-decode is always reported,
 // never dropped and never allowed to kill the process.
+//
+//ppm:hotpath
 func applySubDecode(sd *SubDecode, field gf.Field, in, out [][]byte, stats *kernel.Stats) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			//ppm:allow(hotalloc) panic recovery: this branch is the cold failure path
 			err = fmt.Errorf("core: sub-decode failed: %v", r)
 		}
 	}()
@@ -157,9 +162,12 @@ func applySubDecode(sd *SubDecode, field gf.Field, in, out [][]byte, stats *kern
 // hybrid executor's byte-range fan-out. Compiled plans go through the
 // allocation-free tiled range product; the matrix fallback (only
 // hand-assembled sub-decodes in tests reach it) slices the views.
+//
+//ppm:hotpath
 func applySubDecodeRange(sd *SubDecode, field gf.Field, in, out [][]byte, lo, hi int, stats *kernel.Stats) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			//ppm:allow(hotalloc) panic recovery: this branch is the cold failure path
 			err = fmt.Errorf("core: sub-decode failed: %v", r)
 		}
 	}()

@@ -84,6 +84,7 @@ func DecodeBlockParallel(c codes.Code, st *stripe.Stripe, sc codes.Scenario, thr
 	// runs the serial tiled range product; a failing chunk (lowest chunk
 	// index wins) aborts the decode with its error.
 	chunks := kernel.ChunkRangesAligned(st.SectorSize(), threads, c.Field().WordBytes())
+	//ppm:hotpath
 	err = kernel.DefaultWorkers().Run(len(chunks), func(i int) error {
 		ch := chunks[i]
 		kernel.CompiledProductRange(cFinv, cS, cG, in, out, nil, opts.Sequence, ch[0], ch[1], nil)

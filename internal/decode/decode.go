@@ -81,6 +81,8 @@ func Encode(c codes.Code, st *stripe.Stripe, opts Options) error {
 
 // Verify checks H * B == 0 over the stripe contents, region-wise: the
 // stripe holds a codeword iff every parity-check row XOR-sums to zero.
+//
+//ppm:counted verification is outside the paper's encode/decode cost model; no figure consumes its counts
 func Verify(c codes.Code, st *stripe.Stripe) (bool, error) {
 	if err := checkGeometry(c, st); err != nil {
 		return false, err

@@ -34,6 +34,8 @@ type ScrubResult struct {
 // corrupted, locates it. Multi-sector corruption is reported as
 // not-locatable (the syndrome is then a mix of columns); callers fall
 // back to device-level diagnostics, exactly as real scrubbers do.
+//
+//ppm:counted scrubbing is outside the paper's encode/decode cost model; no figure consumes its counts
 func Scrub(c codes.Code, st *stripe.Stripe) (ScrubResult, error) {
 	if err := checkGeometry(c, st); err != nil {
 		return ScrubResult{}, err

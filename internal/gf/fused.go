@@ -139,6 +139,7 @@ type rowKernel8 struct {
 
 func (r *rowKernel8) Terms() int { return len(r.terms) }
 
+//ppm:hotpath
 func (r *rowKernel8) MultXOR(dst []byte, srcs [][]byte) {
 	checkFused(len(srcs), r.n)
 	var xs, ts [maxFusedTerms][]byte
@@ -164,6 +165,7 @@ func (r *rowKernel8) MultXOR(dst []byte, srcs [][]byte) {
 	}
 }
 
+//ppm:hotpath
 func (f *field8) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 	checkFused(len(srcs), len(consts))
 	var xs, ts [maxFusedTerms][]byte
@@ -198,6 +200,8 @@ func (f *field8) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 // 64-byte-aligned prefix — inside the cache-blocked drivers dst stays
 // resident across those sweeps — and the table core handles the tail
 // plus the fused coefficient-1 XOR pass.
+//
+//ppm:hotpath
 func fuse8(dst []byte, xs, ts [][]byte, rows [][]uint8, affs []uint64) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -224,6 +228,8 @@ func fuse8(dst []byte, xs, ts [][]byte, rows [][]uint8, affs []uint64) {
 // fuse8Tables is the portable GF(2^8) fused core:
 // dst ^= Σ xs[k] ^ Σ rows[k][ts[k]], eight bytes per destination
 // load/store, scalar tail for the last len(dst) % 8 bytes.
+//
+//ppm:hotpath
 func fuse8Tables(dst []byte, xs, ts [][]byte, rows [][]uint8) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -275,6 +281,7 @@ type rowKernel16 struct {
 
 func (r *rowKernel16) Terms() int { return len(r.terms) }
 
+//ppm:hotpath
 func (r *rowKernel16) MultXOR(dst []byte, srcs [][]byte) {
 	checkFused(len(srcs), r.n)
 	var xs, ts [maxFusedTerms][]byte
@@ -300,6 +307,7 @@ func (r *rowKernel16) MultXOR(dst []byte, srcs [][]byte) {
 	}
 }
 
+//ppm:hotpath
 func (f *field16) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 	checkFused(len(srcs), len(consts))
 	var xs, ts [maxFusedTerms][]byte
@@ -331,6 +339,8 @@ func (f *field16) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 
 // fuse16 applies one batch of GF(2^16) terms, preferring the planar
 // affine kernel for multiplied terms (see fuse8 for the structure).
+//
+//ppm:hotpath
 func fuse16(dst []byte, xs, ts [][]byte, tabs []*[2][256]uint16, affs []*[2][8]uint64) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -357,6 +367,8 @@ func fuse16(dst []byte, xs, ts [][]byte, tabs []*[2][256]uint16, affs []*[2][8]u
 // fuse16Tables is the portable GF(2^16) fused core: four 16-bit
 // symbols per destination load/store, scalar 2-byte-word tail for
 // region lengths that are not a multiple of 8.
+//
+//ppm:hotpath
 func fuse16Tables(dst []byte, xs, ts [][]byte, tabs []*[2][256]uint16) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -406,6 +418,7 @@ type rowKernel32 struct {
 
 func (r *rowKernel32) Terms() int { return len(r.terms) }
 
+//ppm:hotpath
 func (r *rowKernel32) MultXOR(dst []byte, srcs [][]byte) {
 	checkFused(len(srcs), r.n)
 	var xs, ts [maxFusedTerms][]byte
@@ -431,6 +444,7 @@ func (r *rowKernel32) MultXOR(dst []byte, srcs [][]byte) {
 	}
 }
 
+//ppm:hotpath
 func (f field32) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 	checkFused(len(srcs), len(consts))
 	var xs, ts [maxFusedTerms][]byte
@@ -462,6 +476,8 @@ func (f field32) MultXORsMulti(dst []byte, srcs [][]byte, consts []uint32) {
 
 // fuse32 applies one batch of GF(2^32) terms, preferring the planar
 // affine kernel for multiplied terms (see fuse8 for the structure).
+//
+//ppm:hotpath
 func fuse32(dst []byte, xs, ts [][]byte, tabs []*[4][256]uint32, affs []*[4][8]uint64) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -487,6 +503,8 @@ func fuse32(dst []byte, xs, ts [][]byte, tabs []*[4][256]uint32, affs []*[4][8]u
 
 // fuse32Tables is the portable GF(2^32) fused core: two 32-bit symbols
 // per destination load/store, scalar 4-byte-word tail.
+//
+//ppm:hotpath
 func fuse32Tables(dst []byte, xs, ts [][]byte, tabs []*[4][256]uint32) {
 	if len(xs) == 0 && len(ts) == 0 {
 		return
@@ -531,6 +549,7 @@ type rowKernelGeneric struct {
 
 func (r *rowKernelGeneric) Terms() int { return len(r.idx) }
 
+//ppm:hotpath
 func (r *rowKernelGeneric) MultXOR(dst []byte, srcs [][]byte) {
 	checkFused(len(srcs), r.n)
 	for k, j := range r.idx {

@@ -125,6 +125,7 @@ func (f *field16) tables16(a uint32) *[2][256]uint16 {
 	return f.multiplier(a).t
 }
 
+//ppm:hotpath
 func (f *field16) MultXORs(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 2)
 	switch a & 0xFFFF {
@@ -137,6 +138,7 @@ func (f *field16) MultXORs(dst, src []byte, a uint32) {
 	f.multiplier(a&0xFFFF).MultXOR(dst, src)
 }
 
+//ppm:hotpath
 func (f *field16) MulRegion(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 2)
 	switch a & 0xFFFF {

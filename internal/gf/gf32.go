@@ -153,6 +153,7 @@ func multXOR32(t *[4][256]uint32, dst, src []byte) {
 	}
 }
 
+//ppm:hotpath
 func (f field32) MultXORs(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 4)
 	switch a {
@@ -165,6 +166,7 @@ func (f field32) MultXORs(dst, src []byte, a uint32) {
 	multXOR32(f.tables(a), dst, src)
 }
 
+//ppm:hotpath
 func (f field32) MulRegion(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 4)
 	switch a {

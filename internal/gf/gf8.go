@@ -82,6 +82,7 @@ func (f *field8) Exp(a uint32, n int) uint32 {
 	return expBySquaring(f, a, n)
 }
 
+//ppm:hotpath
 func (f *field8) MultXORs(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 1)
 	switch a & 0xFF {
@@ -106,6 +107,7 @@ func (f *field8) MultXORs(dst, src []byte, a uint32) {
 	}
 }
 
+//ppm:hotpath
 func (f *field8) MulRegion(dst, src []byte, a uint32) {
 	checkRegions(dst, src, 1)
 	switch a & 0xFF {

@@ -67,6 +67,7 @@ type trivialMultiplier struct {
 
 func (m trivialMultiplier) Coefficient() uint32 { return m.a }
 
+//ppm:hotpath
 func (m trivialMultiplier) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, m.wb)
 	if m.a == 0 {
@@ -83,6 +84,7 @@ type multiplier8 struct {
 
 func (m *multiplier8) Coefficient() uint32 { return m.a }
 
+//ppm:hotpath
 func (m *multiplier8) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 1)
 	if useAffine && len(dst) >= 64 {
@@ -116,6 +118,7 @@ type multiplier16 struct {
 
 func (m *multiplier16) Coefficient() uint32 { return m.a }
 
+//ppm:hotpath
 func (m *multiplier16) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 2)
 	if useAffine && len(dst) >= 64 {
@@ -152,6 +155,7 @@ type multiplier32 struct {
 
 func (m *multiplier32) Coefficient() uint32 { return m.a }
 
+//ppm:hotpath
 func (m *multiplier32) MultXOR(dst, src []byte) {
 	checkRegions(dst, src, 4)
 	if useAffine && len(dst) >= 64 {

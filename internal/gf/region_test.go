@@ -180,6 +180,7 @@ func TestRegionLengthMismatchPanics(t *testing.T) {
 			t.Fatal("mismatched region lengths did not panic")
 		}
 	}()
+	//ppm:allow(regionargs) deliberately mismatched lengths: this test asserts the panic
 	GF8.MultXORs(make([]byte, 8), make([]byte, 9), 3)
 }
 

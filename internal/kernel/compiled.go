@@ -124,6 +124,9 @@ func (cm *CompiledMatrix) ApplyRange(in, out [][]byte, lo, hi int, stats *Stats)
 // applySpan is the tiled inner driver: whole matrix, one tile at a
 // time, with pooled view headers presenting each tile of the sources
 // to the fused row kernels.
+//
+//ppm:hotpath
+//ppm:counted Apply/ApplyRange account the full NNZ once per logical application
 func (cm *CompiledMatrix) applySpan(in, out [][]byte, lo, hi int) {
 	if lo >= hi {
 		return
@@ -153,6 +156,9 @@ func (cm *CompiledMatrix) applySpan(in, out [][]byte, lo, hi int) {
 // are independent, which makes the per-tile chaining exact). scratch,
 // if non-nil, provides caller-owned intermediate regions instead of
 // pooled tile scratch.
+//
+//ppm:hotpath
+//ppm:counted CompiledProduct accounts u(S)+u(F^-1) once per logical product
 func chainSpan(finv, s *CompiledMatrix, in, out, scratch [][]byte, lo, hi int) {
 	if lo >= hi {
 		return

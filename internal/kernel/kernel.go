@@ -98,6 +98,9 @@ func Apply(f gf.Field, m *matrix.Matrix, in, out [][]byte, stats *Stats) {
 }
 
 // applyTiled is Apply's tiled inner driver over the [lo, hi) byte range.
+//
+//ppm:hotpath
+//ppm:counted Apply accounts the full NNZ once per logical application
 func applyTiled(f gf.Field, m *matrix.Matrix, in, out [][]byte, lo, hi int) {
 	if lo >= hi || m.Rows() == 0 {
 		return
@@ -162,6 +165,9 @@ func Product(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, seq 
 // so the intermediate stays cache-resident (word positions are
 // independent, making per-tile chaining exact). With nil scratch the
 // intermediate lives in pooled tile-sized buffers.
+//
+//ppm:hotpath
+//ppm:counted Product accounts u(S)+u(F^-1) once per logical product
 func matChainSpan(f gf.Field, finv, s *matrix.Matrix, in, out, scratch [][]byte, lo, hi int) {
 	if lo >= hi {
 		return

@@ -12,6 +12,8 @@ import "sync"
 // A Scratch is owned exclusively by its getter until Release; the
 // contents are NOT zeroed on Get (Product and CompiledProduct always
 // Zero their scratch before accumulating into it).
+//
+//ppm:nocopy
 type Scratch struct {
 	backing []byte
 	regions [][]byte

@@ -96,6 +96,8 @@ func applyWorkers() int { return runtime.NumCPU() }
 // present one tile of every source to the fused row kernels. Pooled and
 // cleared on release so the repeated-decode path allocates nothing and
 // the pool never pins caller buffers.
+//
+//ppm:nocopy
 type viewArena struct {
 	views [][]byte
 	used  int

@@ -21,6 +21,8 @@ import (
 // inside a task are recovered and reported as that task's error — a
 // failing sub-decode can never take down the process or, worse, be
 // silently dropped by a goroutine that nobody joins.
+//
+//ppm:nocopy
 type Workers struct {
 	tasks chan func()
 }

@@ -1,0 +1,238 @@
+// Fixture loading and `// want` expectation checking: a small offline
+// reimplementation of x/tools' analysistest. Fixture packages live in
+// GOPATH-style trees under testdata/src; imports with a single path
+// element (like "gf") resolve to sibling fixture directories and are
+// type-checked from source, everything else resolves to standard
+// library export data produced by one `go list -deps -export` call.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// fixtureLoader type-checks packages rooted at a testdata/src tree.
+type fixtureLoader struct {
+	root string // testdata/src
+	fset *token.FileSet
+
+	mu    sync.Mutex
+	cache map[string]*Package // fixture path -> package
+
+	stdOnce sync.Once
+	stdErr  error
+	stdImp  types.Importer
+}
+
+// newFixtureLoader returns a loader for fixture packages under root.
+func newFixtureLoader(root string) *fixtureLoader {
+	return &fixtureLoader{root: root, fset: token.NewFileSet(), cache: map[string]*Package{}}
+}
+
+// LoadFixture type-checks the fixture package at rel (a path relative
+// to the loader's testdata/src root, e.g. "errflow/kernel").
+func (l *fixtureLoader) load(rel string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadLocked(rel)
+}
+
+func (l *fixtureLoader) loadLocked(rel string) (*Package, error) {
+	if p, ok := l.cache[rel]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint fixture %s: %v", rel, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint fixture %s: no go files", rel)
+	}
+	pkg, info, err := typeCheck(l.fset, rel, files, fixtureImporter{l})
+	if err != nil {
+		return nil, fmt.Errorf("lint fixture %s: %v", rel, err)
+	}
+	p := &Package{
+		Path:         rel,
+		Dir:          dir,
+		Fset:         l.fset,
+		Files:        files,
+		Types:        pkg,
+		Info:         info,
+		suppressions: collectSuppressions(l.fset, files),
+	}
+	l.cache[rel] = p
+	return p, nil
+}
+
+// std returns an importer over standard-library export data, built
+// lazily with one `go list -deps -export -json std` invocation.
+func (l *fixtureLoader) std() (types.Importer, error) {
+	l.stdOnce.Do(func() {
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "std")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			l.stdErr = fmt.Errorf("lint: go list std failed: %v\n%s", err, stderr.String())
+			return
+		}
+		exports := map[string]string{}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				l.stdErr = err
+				return
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		l.stdImp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	})
+	return l.stdImp, l.stdErr
+}
+
+// fixtureImporter resolves single-element import paths to sibling
+// fixture packages and everything else to the standard library.
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if !strings.Contains(path, ".") {
+		if st, err := os.Stat(filepath.Join(fi.l.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			p, err := fi.l.loadLocked(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	std, err := fi.l.std()
+	if err != nil {
+		return nil, err
+	}
+	return std.Import(path)
+}
+
+// wantRe matches one quoted expectation in a `// want` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "re"` entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments from the
+// package's files.
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					if i = strings.Index(text, "//want "); i < 0 {
+						continue
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TestingT is the subset of *testing.T the fixture runner needs.
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+// RunFixture loads the fixture package at rel under testdata/src (taken
+// relative to dir) and checks the analyzer's diagnostics against the
+// package's `// want "re"` comments, analysistest-style: every
+// diagnostic must match a want on its line, and every want must be
+// matched by a diagnostic.
+func RunFixture(t TestingT, dir string, a *Analyzer, rel string) {
+	t.Helper()
+	l := newFixtureLoader(filepath.Join(dir, "testdata", "src"))
+	pkg, err := l.load(rel)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if a.Match != nil && !a.Match(pkg.Path) {
+		t.Fatalf("analyzer %s does not match fixture package %s; fix the fixture path", a.Name, pkg.Path)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

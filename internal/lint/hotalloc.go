@@ -1,0 +1,204 @@
+// hotalloc: functions (or single statements) annotated //ppm:hotpath
+// are steady-state hot paths — the compiled decode, the kernel tile
+// loop, the pipeline compute stage. The repository's 0 allocs/op
+// regression tests depend on these paths staying allocation-free, so
+// hotalloc rejects every construct that allocates (or is overwhelmingly
+// likely to): make/new/append, map and slice composite literals,
+// taking the address of a composite literal, fmt.* calls, conversions
+// that box a concrete value into an interface, goroutine launches, and
+// closures that capture variables (per-iteration allocations when the
+// captured variable belongs to an enclosing loop).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the hot-path allocation analyzer.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocations, fmt calls, interface boxing and capturing closures inside //ppm:hotpath regions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && FuncAnnotated(fd, "hotpath") {
+				checkHotRegion(pass, fd.Body)
+			}
+		}
+		for _, stmt := range annotatedStmts(pass.Fset, file, "hotpath") {
+			checkHotRegion(pass, stmt)
+		}
+	}
+}
+
+// checkHotRegion walks one annotated region and reports allocating
+// constructs. Nested function literals are walked too: an allocation
+// inside a closure that the hot path calls is still an allocation.
+func checkHotRegion(pass *Pass, root ast.Node) {
+	// Record the span of every for/range statement in the region so
+	// closures can be checked for loop-variable capture.
+	type loopSpan struct{ pos, end token.Pos }
+	var loops []loopSpan
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, loopSpan{n.Pos(), n.End()})
+		}
+		return true
+	})
+	capturesLoopVar := func(fl *ast.FuncLit) bool {
+		found := false
+		ast.Inspect(fl, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pos() == token.NoPos {
+				return true
+			}
+			// A loop variable is declared inside a loop's span but
+			// outside this closure.
+			if obj.Pos() >= fl.Pos() && obj.Pos() < fl.End() {
+				return true
+			}
+			for _, l := range loops {
+				if obj.Pos() >= l.pos && obj.Pos() < l.end && fl.Pos() > obj.Pos() {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path launches a goroutine; move the fan-out outside the //ppm:hotpath region")
+		case *ast.FuncLit:
+			if capturesLoopVar(n) {
+				pass.Reportf(n.Pos(), "closure captures a loop variable: one allocation per iteration in a hot path")
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in a hot path")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in a hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in a hot path")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, fmt.* calls and arguments
+// boxed into interface parameters.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in a hot path; use a pooled or preallocated buffer")
+				return
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in a hot path; use a pooled or preallocated value")
+				return
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in a hot path; reserve capacity outside the region")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgName, ok := pass.Info.Uses[identOf(fun.X)].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates and boxes in a hot path", fun.Sel.Name)
+			return
+		}
+	}
+	// Conversion to an interface type boxes the operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.Info.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				pass.Reportf(call.Pos(), "conversion boxes %s into an interface in a hot path", at)
+			}
+		}
+		return
+	}
+	// Concrete arguments passed to interface parameters box too. panic
+	// is deliberately included: its argument boxes, and a panic in a
+	// hot region belongs behind a guard outside it (or a suppression
+	// explaining why the cold branch is acceptable).
+	sig := callSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through ...
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass.Info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in a hot path", at, pt)
+	}
+}
+
+// callSignature returns the signature of the called function, including
+// the builtin panic (whose parameter is any).
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "panic" {
+				any := types.Universe.Lookup("any").Type()
+				return types.NewSignatureType(nil, nil, nil,
+					types.NewTuple(types.NewVar(token.NoPos, nil, "v", any)), nil, false)
+			}
+			return nil
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,285 @@
+// Package lint is the repository's static-analysis suite: a set of
+// analyzers that machine-check the invariants the performance work of
+// the last PRs depends on — allocation-free hot paths, goroutine error
+// routing, region-operation argument discipline, mult_XORs accounting,
+// and no-copy session/arena types.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Diagnostic) but is built entirely on the
+// standard library: packages are enumerated with `go list -deps -test
+// -export -json`, parsed with go/parser, and type-checked with
+// go/types against the compiler's export data, so the suite needs no
+// network access and no third-party modules. cmd/ppmlint is the
+// multichecker driver; `make lint` wires it into `make check`.
+//
+// # Annotations
+//
+// The analyzers understand four comment annotations:
+//
+//	//ppm:hotpath            — the function (or the single statement the
+//	                           comment precedes) is a steady-state hot
+//	                           path: hotalloc forbids allocations in it.
+//	//ppm:counted <why>      — the function performs region operations
+//	                           whose mult_XORs cost is accounted by its
+//	                           callers; statsaccount accepts it.
+//	//ppm:nocopy             — the type must never be copied by value
+//	                           even if it holds no lock field today.
+//	//ppm:allow(<name>) why  — suppress analyzer <name> on this line or
+//	                           the line below. The reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ppm:allow(<name>) suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match restricts the analyzer to packages it applies to; nil means
+	// every package. It receives the package's import path.
+	Match func(pkgPath string) bool
+	// Run reports diagnostics for one package through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// Path is the package's import path as listed (fixture packages use
+	// their testdata-relative path).
+	Path string
+	Info *types.Info
+
+	pkg    *Package
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless a //ppm:allow(<analyzer>)
+// suppression covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.pkg != nil && p.pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowRe matches //ppm:allow(name1,name2) optional reason.
+var allowRe = regexp.MustCompile(`^//ppm:allow\(([\w,\s]+)\)\s*(.*)$`)
+
+// suppression is one parsed //ppm:allow comment.
+type suppression struct {
+	names  []string
+	reason string
+	file   string
+	line   int
+}
+
+// collectSuppressions parses every //ppm:allow comment in the files.
+// Suppressions without a reason are themselves diagnosed by the driver
+// (the annotation contract: intentional deviations carry their why).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s := suppression{reason: strings.TrimSpace(m[2]), file: pos.Filename, line: pos.Line}
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						s.names = append(s.names, n)
+					}
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether analyzer name is suppressed at position: a
+// //ppm:allow comment on the same line, or alone on the line above.
+func (pkg *Package) allowed(name string, pos token.Position) bool {
+	for _, s := range pkg.suppressions {
+		if s.file != pos.Filename {
+			continue
+		}
+		if s.line != pos.Line && s.line != pos.Line-1 {
+			continue
+		}
+		for _, n := range s.names {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasAnnotation reports whether the comment group contains a line
+// //ppm:<name> (with optional trailing text).
+func hasAnnotation(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	prefix := "//ppm:" + name
+	for _, c := range cg.List {
+		t := c.Text
+		if t == prefix || strings.HasPrefix(t, prefix+" ") || strings.HasPrefix(t, prefix+"\t") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAnnotated reports whether the function declaration carries the
+// //ppm:<name> annotation in its doc comment.
+func FuncAnnotated(decl *ast.FuncDecl, name string) bool {
+	return hasAnnotation(decl.Doc, name)
+}
+
+// annotatedStmts returns the statements (and their enclosing file) that
+// a //ppm:<name> comment immediately precedes, for block-scoped
+// annotations like marking just the steady-state loop of a function.
+func annotatedStmts(fset *token.FileSet, file *ast.File, name string) []ast.Stmt {
+	prefix := "//ppm:" + name
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			t := c.Text
+			if t == prefix || strings.HasPrefix(t, prefix+" ") || strings.HasPrefix(t, prefix+"\t") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	var out []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		// A function body's `{` sits on the line after a func-doc
+		// annotation; that case belongs to FuncAnnotated, and counting
+		// it here would analyze the same body twice.
+		if _, isBody := s.(*ast.BlockStmt); isBody {
+			return true
+		}
+		if lines[fset.Position(s.Pos()).Line-1] {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// TypeAnnotated reports whether the type spec (or its enclosing GenDecl)
+// carries //ppm:<name>.
+func typeAnnotated(decl *ast.GenDecl, spec *ast.TypeSpec, name string) bool {
+	return hasAnnotation(spec.Doc, name) || hasAnnotation(spec.Comment, name) ||
+		(decl != nil && len(decl.Specs) == 1 && hasAnnotation(decl.Doc, name))
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by position. Reason-less //ppm:allow comments are
+// reported as "allow" diagnostics: a suppression must say why.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, s := range pkg.suppressions {
+			if s.reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+					Analyzer: "allow",
+					Message:  "//ppm:allow suppression is missing its reason",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Path:     pkg.Path,
+				Info:     pkg.Info,
+				pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves the *types.Func a call invokes (method or
+// function), or nil for builtins, conversions and func-valued exprs.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

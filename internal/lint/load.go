@@ -1,0 +1,186 @@
+// Package loading for the lint suite. Instead of depending on
+// golang.org/x/tools/go/packages (unavailable offline), Load shells out
+// to `go list -deps -test -export -json`, which both enumerates the
+// module's packages and compiles export data for every dependency into
+// the build cache. Each target package is then parsed with go/parser
+// and type-checked with go/types using an importer that reads that
+// export data — the exact information the compiler itself uses, with no
+// network and no re-typechecking of dependencies from source.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	suppressions []suppression
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// Load lists the patterns in dir and returns every matched module
+// package type-checked with its in-package test files, plus a separate
+// package per external (_test) test package. Dependencies resolve
+// through compiler export data, so Load works fully offline.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-test", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// Targets are the module packages the patterns matched: not
+		// dependency-only, not the synthesized ".test" mains, and not
+		// the test-augmented variants (their files are folded into the
+		// base package below).
+		if !p.DepOnly && !p.Standard && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		base, err := checkPackage(fset, t.ImportPath, t.Dir,
+			append(append([]string{}, t.GoFiles...), t.TestGoFiles...), exports, t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, base)
+		if len(t.XTestGoFiles) > 0 {
+			xt, err := checkPackage(fset, t.ImportPath+"_test", t.Dir, t.XTestGoFiles, exports, t.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one set of files as the package
+// at path. basePath is the non-test import path; imports of it (from an
+// external test package) resolve to the test-augmented export data when
+// present, so _test helpers defined in in-package test files type-check.
+func checkPackage(fset *token.FileSet, path, dir string, fileNames []string, exports map[string]string, basePath string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		// Prefer the test-augmented variant for imports of the package
+		// under test from its external test package.
+		if ipath != basePath {
+			if f, ok := exports[ipath]; ok {
+				return os.Open(f)
+			}
+			return nil, fmt.Errorf("no export data for %q", ipath)
+		}
+		if f, ok := exports[ipath+" ["+basePath+".test]"]; ok {
+			return os.Open(f)
+		}
+		if f, ok := exports[ipath]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", ipath)
+	}
+	pkg, info, err := typeCheck(fset, path, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:         path,
+		Dir:          dir,
+		Fset:         fset,
+		Files:        files,
+		Types:        pkg,
+		Info:         info,
+		suppressions: collectSuppressions(fset, files),
+	}, nil
+}
+
+// typeCheck runs go/types over the files with full use/def/selection
+// information recorded.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

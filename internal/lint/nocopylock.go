@@ -1,0 +1,195 @@
+// nocopylock: `go vet`'s copylocks, extended to the repository's
+// session and arena types. The executor sessions, pooled scratch
+// buffers, view arenas and pipeline engine circulate through
+// sync.Pools and free lists under the assumption that exactly one
+// owner holds each value; copying one by value silently forks its
+// backing state (or its internal mutex/atomic), which is exactly the
+// class of bug the race detector only catches when the copy happens to
+// race. A type is no-copy when it (transitively, by value) contains a
+// sync or atomic synchronization primitive, a field named noCopy, or
+// carries the //ppm:nocopy annotation; the analyzer rejects by-value
+// receivers, parameters, results, assignments, range copies and call
+// arguments of such types.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoCopyLock is the no-copy type analyzer.
+var NoCopyLock = &Analyzer{
+	Name: "nocopylock",
+	Doc:  "session/arena and lock-bearing types must not be copied by value",
+	Run:  runNoCopyLock,
+}
+
+func runNoCopyLock(pass *Pass) {
+	annotated := annotatedNoCopyTypes(pass)
+	seen := map[types.Type]bool{}
+	isNoCopy := func(t types.Type) bool { return isNoCopyType(t, annotated, seen, 0) }
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldListCopies(pass, n.Recv, isNoCopy, "receiver")
+				if n.Type.Params != nil {
+					checkFieldListCopies(pass, n.Type.Params, isNoCopy, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldListCopies(pass, n.Type.Results, isNoCopy, "result")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkValueCopy(pass, rhs, isNoCopy)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkValueCopy(pass, v, isNoCopy)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					// A `:=` range value var is a defined ident: its type
+					// lives in Info.Defs, which TypeOf consults.
+					if t := pass.Info.TypeOf(n.Value); t != nil && isNoCopy(t) {
+						pass.Reportf(n.Value.Pos(), "range copies %s by value; iterate with the index or use pointers", t)
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgCopies(pass, n, isNoCopy)
+			}
+			return true
+		})
+	}
+}
+
+// annotatedNoCopyTypes collects the named types the package marks
+// //ppm:nocopy.
+func annotatedNoCopyTypes(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !typeAnnotated(gd, ts, "nocopy") {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isNoCopyType reports whether t must not be copied by value: an
+// annotated type, a sync/atomic primitive, a struct with a noCopy
+// field, or a struct containing (by value) any of those.
+func isNoCopyType(t types.Type, annotated map[*types.TypeName]bool, seen map[types.Type]bool, depth int) bool {
+	if t == nil || depth > 10 || seen[t] {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if annotated[obj] {
+			return true
+		}
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Cond", "Pool", "Map", "Once":
+					return true
+				}
+			case "sync/atomic":
+				return true // every sync/atomic type is no-copy
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "noCopy" {
+			return true
+		}
+		if isNoCopyType(f.Type(), annotated, seen, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFieldListCopies flags by-value declarations of no-copy types.
+func checkFieldListCopies(pass *Pass, fl *ast.FieldList, isNoCopy func(types.Type) bool, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.Info.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if isNoCopy(t) {
+			pass.Reportf(f.Type.Pos(), "%s passes %s by value; use a pointer", kind, t)
+		}
+	}
+}
+
+// checkValueCopy flags RHS expressions that copy a no-copy value:
+// dereferences, plain identifier/selector/index reads. Composite
+// literals and function calls construct fresh values and are allowed.
+func checkValueCopy(pass *Pass, rhs ast.Expr, isNoCopy func(types.Type) bool) {
+	e := ast.Unparen(rhs)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		t := pass.Info.Types[e].Type
+		if t != nil && isNoCopy(t) {
+			pass.Reportf(rhs.Pos(), "assignment copies %s by value; use a pointer", t)
+		}
+	}
+}
+
+// checkCallArgCopies flags no-copy values passed by value as call
+// arguments.
+func checkCallArgCopies(pass *Pass, call *ast.CallExpr, isNoCopy func(types.Type) bool) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	for _, arg := range call.Args {
+		e := ast.Unparen(arg)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.IsType() {
+			continue // type argument (new(T), make(T, ...)), not a value
+		}
+		t := tv.Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if isNoCopy(t) {
+			pass.Reportf(arg.Pos(), "call copies %s by value; pass a pointer", t)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsLintClean runs the full suite over the module — the
+// same invocation `make lint` performs — and requires zero findings.
+// This keeps `go test ./...` sufficient to catch an invariant
+// violation even where ppmlint is not wired into the workflow.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load is slow; run without -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is dropping targets", len(pkgs))
+	}
+	diags := RunAnalyzers(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadIncludesTestFiles pins that the loader folds in-package
+// _test.go files into the analyzed package: the error contract must
+// hold in bench/harness test code too.
+func TestLoadIncludesTestFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module load is slow; run without -short")
+	}
+	pkgs, err := Load("../..", "./internal/kernel")
+	if err != nil {
+		t.Fatalf("loading kernel: %v", err)
+	}
+	found := false
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no _test.go files loaded for internal/kernel")
+	}
+}

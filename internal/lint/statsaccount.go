@@ -1,0 +1,81 @@
+// statsaccount: the figure-regeneration contract. Every nonzero
+// coefficient applied to a region is exactly one mult_XORs() — the
+// paper's unit of computational cost — and the experiment harness
+// compares measured Stats.MultXORs counts against the analytic C1..C4
+// formulas. A region-op call path that forgets to tick the counter
+// silently skews every regenerated figure, so any function outside
+// internal/gf that calls the field primitives directly must either
+// account for them (a Stats.AddMultXORs call in the same body) or be
+// annotated //ppm:counted <why> naming the caller that accounts.
+
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// StatsAccount is the mult_XORs accounting analyzer.
+var StatsAccount = &Analyzer{
+	Name:  "statsaccount",
+	Doc:   "region-op call paths must tick Stats.MultXORs once per paper-cost unit or be annotated //ppm:counted",
+	Match: statsAccountMatch,
+	Run:   runStatsAccount,
+}
+
+// statsAccountMatch skips the gf package itself (it implements the
+// primitives) — everything else that reaches them is in scope.
+func statsAccountMatch(pkgPath string) bool {
+	base := pathBase(pkgPath)
+	return base != "gf" && !strings.HasSuffix(base, "gf_test")
+}
+
+func runStatsAccount(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue // tests assert counts; they do not produce figures
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStatsAccounting(pass, fd)
+		}
+	}
+}
+
+func checkStatsAccounting(pass *Pass, fd *ast.FuncDecl) {
+	var firstOp ast.Node
+	opName := ""
+	accounts := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _, ok := isGFMethod(pass, call); ok {
+			if firstOp == nil {
+				firstOp, opName = call, name
+			}
+			return true
+		}
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Name() == "AddMultXORs" {
+			accounts++
+		}
+		return true
+	})
+	if firstOp == nil {
+		return
+	}
+	if accounts == 0 && !FuncAnnotated(fd, "counted") {
+		pass.Reportf(firstOp.Pos(),
+			"%s performs region operations (%s) without ticking Stats.MultXORs; add stats.AddMultXORs in this function or annotate it //ppm:counted <who accounts>",
+			fd.Name.Name, opName)
+	}
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(pass *Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,67 @@
+// Package kernel is the errflow fixture: goroutines in the concurrency
+// packages must route their errors to a joiner.
+package kernel
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func fallible() error { return errBoom }
+
+func twoResults() (int, error) { return 0, errBoom }
+
+// launchDirect drops the error of a directly launched function.
+func launchDirect() {
+	go fallible() // want "go statement discards the error result of fallible"
+}
+
+// launchDiscards drops errors inside the goroutine body.
+func launchDiscards() {
+	go func() {
+		_ = fallible()      // want "goroutine discards an error with _ ="
+		fallible()          // want "goroutine drops the error result of fallible"
+		_, _ = twoResults() // want "goroutine discards an error with _ ="
+	}()
+}
+
+// launchPanics panics with no recovery wrapper.
+func launchPanics() {
+	go func() {
+		panic("boom") // want "naked panic in a goroutine"
+	}()
+}
+
+// launchRouted is the clean pattern: errors land in a buffered channel
+// and panics are recovered into it.
+func launchRouted() error {
+	errc := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- errBoom
+			}
+		}()
+		errc <- fallible()
+	}()
+	return <-errc
+}
+
+// launchSlotted is the pool pattern: each task writes its own slot.
+func launchSlotted() []error {
+	errs := make([]error, 2)
+	done := make(chan struct{})
+	go func() {
+		errs[0] = fallible()
+		close(done)
+	}()
+	<-done
+	return errs
+}
+
+// launchAllowed documents an intentional drop.
+func launchAllowed() {
+	go func() {
+		//ppm:allow(errflow) fire-and-forget cache warm-up; failure only costs latency
+		_ = fallible()
+	}()
+}

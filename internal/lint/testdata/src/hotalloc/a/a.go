@@ -1,0 +1,65 @@
+// Package a is the hotalloc fixture: flagged allocation constructs in
+// //ppm:hotpath regions, and the same constructs unflagged outside
+// them.
+package a
+
+import "fmt"
+
+var sink interface{}
+
+// hot is a hot path with every forbidden construct.
+//
+//ppm:hotpath
+func hot(dst []byte, srcs [][]byte) {
+	buf := make([]byte, 64) // want "make allocates in a hot path"
+	buf = append(buf, 1)    // want "append may grow"
+	m := map[int]int{}      // want "map literal allocates"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+	p := &point{1, 2} // want "&composite literal allocates"
+	_ = p
+	fmt.Println(len(buf))        // want "fmt.Println allocates"
+	sink = point{3, 4}           // no report: plain assignment, conversion rules cover calls
+	take(point{5, 6})            // want "argument boxes"
+	_ = interface{}(point{7, 8}) // want "conversion boxes"
+	for i := range srcs {
+		f := func() int { return i } // want "closure captures a loop variable"
+		_ = f()
+	}
+	go work() // want "launches a goroutine"
+}
+
+// cold performs the same operations without the annotation: no
+// diagnostics.
+func cold() {
+	buf := make([]byte, 64)
+	buf = append(buf, 1)
+	fmt.Println(len(buf))
+}
+
+// stmtLevel exercises the statement-scoped annotation: only the marked
+// loop is checked.
+func stmtLevel(n int) int {
+	extra := make([]int, 4)
+	total := 0
+	//ppm:hotpath
+	for i := 0; i < n; i++ {
+		total += len(make([]byte, 8)) // want "make allocates in a hot path"
+	}
+	return total + len(extra)
+}
+
+// suppressed shows a documented deviation.
+//
+//ppm:hotpath
+func suppressed() []byte {
+	//ppm:allow(hotalloc) one-time warm-up allocation, amortized across the run
+	return make([]byte, 1024)
+}
+
+type point struct{ x, y int }
+
+func take(v interface{}) { sink = v }
+
+func work() {}

@@ -1,0 +1,71 @@
+// Package a is the nocopylock fixture: lock-bearing and annotated
+// session/arena types must not be copied by value.
+package a
+
+import "sync"
+
+// guarded embeds a mutex: no-copy by construction.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// session is an arena-style type with no lock field; the annotation
+// makes it no-copy.
+//
+//ppm:nocopy
+type session struct {
+	views [][]byte
+}
+
+// wrapper contains a no-copy struct by value: transitively no-copy.
+type wrapper struct {
+	g guarded
+}
+
+func byValueParam(g guarded) int { // want "parameter passes .*a.guarded by value"
+	return g.n
+}
+
+func byValueReturn(p *guarded) guarded { // want "result passes .*a.guarded by value"
+	g := *p // want "assignment copies .*a.guarded by value"
+	return g
+}
+
+func (s session) byValueReceiver() int { // want "receiver passes .*a.session by value"
+	return len(s.views)
+}
+
+func assignment(p *session) {
+	s := *p // want "assignment copies .*a.session by value"
+	_ = s   // want "assignment copies .*a.session by value"
+	q := p  // pointer copy: clean
+	_ = q
+}
+
+func rangeCopy(ws []wrapper) int {
+	total := 0
+	for _, w := range ws { // want "range copies .*a.wrapper by value"
+		total += w.g.n
+	}
+	for i := range ws { // index iteration: clean
+		total += ws[i].g.n
+	}
+	return total
+}
+
+func callCopy(g guarded, use func(interface{})) { // want "parameter passes .*a.guarded by value"
+	use(g) // want "call copies .*a.guarded by value"
+}
+
+func construction() *session {
+	// Composite literals construct fresh values: clean.
+	s := session{views: make([][]byte, 4)}
+	return &s
+}
+
+func pointers(p *guarded) *guarded {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p
+}

@@ -85,6 +85,8 @@ type job struct {
 // and one failure scenario. Build it once, Run it over any number of
 // streams, Close it when finished. An Engine is not safe for concurrent
 // Runs; distinct Engines are independent.
+//
+//ppm:nocopy
 type Engine struct {
 	code codes.Code
 	sc   codes.Scenario
@@ -104,6 +106,12 @@ type Engine struct {
 	src  Source
 	ctx  context.Context
 	stop atomic.Bool
+
+	// shardErr records a compute-shard failure that escaped the per-job
+	// path (a pool-level panic outside compute). It poisons the engine:
+	// the next RunContext surfaces it instead of running with fewer
+	// shards than configured.
+	shardErr atomic.Value // error
 
 	closed bool
 
@@ -177,10 +185,12 @@ func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, 
 	// when the pool is saturated — Run never deadlocks on a busy pool)
 	// and serves stripes until Close.
 	go func() {
-		_ = kernel.DefaultWorkers().Run(cfg.Workers, func(int) error {
+		if err := kernel.DefaultWorkers().Run(cfg.Workers, func(int) error {
 			e.computeLoop()
 			return nil
-		})
+		}); err != nil {
+			e.shardErr.Store(err)
+		}
 	}()
 	return e, nil
 }
@@ -219,6 +229,9 @@ func (e *Engine) Run(src Source, dst Sink) (int, error) {
 func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, error) {
 	if e.closed {
 		return 0, fmt.Errorf("pipeline: engine is closed")
+	}
+	if err, _ := e.shardErr.Load().(error); err != nil {
+		return 0, fmt.Errorf("pipeline: compute shard failed: %w", err)
 	}
 	e.src = src
 	e.ctx = ctx
@@ -280,6 +293,8 @@ func (e *Engine) fillLoop() {
 // and hands them to compute and (in order) to the drain stage. It stops
 // on end-of-stream, source error, context cancellation, or the stop
 // flag (set by the drain stage on failure), then posts the sentinel.
+//
+//ppm:hotpath
 func (e *Engine) fillOne() {
 	done := e.ctx.Done()
 	for idx := 0; ; idx++ {
@@ -321,14 +336,28 @@ func (e *Engine) fillOne() {
 // stripes until Close. Once a run is stopping (error or cancellation),
 // remaining stripes pass through unprocessed — the drain stage discards
 // their results anyway.
+//
+//ppm:hotpath
 func (e *Engine) computeLoop() {
 	for j := range e.work {
 		if e.stop.Load() {
 			j.done <- nil
 			continue
 		}
-		j.done <- e.compute(j)
+		j.done <- e.computeSafe(j)
 	}
+}
+
+// computeSafe converts a compute panic into the job's error, so the
+// drain stage always receives an outcome for every in-flight stripe —
+// a panicking stripe can fail its Run but never wedge it.
+func (e *Engine) computeSafe(j *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compute stripe %d panicked: %v", j.idx, r)
+		}
+	}()
+	return e.compute(j)
 }
 
 func (e *Engine) compute(j *job) error {
