@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline experiments paper fmt fmt-check vet lint fuzz-smoke checkptr check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr check clean
 
 all: check
 
@@ -38,6 +38,18 @@ bench-kernel:
 # store-mode depth>=4 run is below 1.3x the serial loop's throughput.
 bench-pipeline:
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
+
+# Record the simulated-traffic serving comparison: open-loop arrivals
+# against a single fixed-default engine vs the autotuned engine pool,
+# p50/p99/p999 request latency + aggregate GB/s -> BENCH_traffic.json.
+# Fails if the pool is below 1.3x the single engine's throughput at the
+# default 8-stream admission cap.
+bench-traffic:
+	$(GO) run ./cmd/benchpipeline -traffic -traffic-o BENCH_traffic.json
+
+# Calibrate (or show) this host's tuning profile.
+tune:
+	$(GO) run ./cmd/ppminspect -tune
 
 # Regenerate the paper's figures at CI scale (minutes).
 experiments:

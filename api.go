@@ -11,6 +11,7 @@ import (
 	"ppm/internal/kernel"
 	"ppm/internal/pipeline"
 	"ppm/internal/stripe"
+	"ppm/internal/tune"
 )
 
 // Code is an erasure-code instance exposed as a parity-check matrix over
@@ -266,9 +267,11 @@ func NewArray(c Code, numStripes, sectorSize int, seed int64) (*Array, error) {
 }
 
 // StreamConfig tunes the streaming multi-stripe pipeline: Depth bounds
-// the stripes in flight (backpressure, default 4), Workers the compute
-// shards on the persistent kernel pool, Threads the per-stripe parallel
-// phase (default 1 — the pipeline parallelises across stripes).
+// the stripes in flight (backpressure), Workers the compute shards on
+// the persistent kernel pool (default: the core count), Threads the
+// per-stripe parallel phase (default 1 — the pipeline parallelises
+// across stripes). Auto fills unset fields from this host's calibrated
+// tuning profile (see Autotune), calibrating one on first use.
 type StreamConfig = pipeline.Config
 
 // StreamResult reports a stream run: stripes drained and payload bytes
@@ -287,6 +290,61 @@ type StreamSource = pipeline.Source
 
 // StreamSink receives processed stripes in strict stripe order.
 type StreamSink = pipeline.Sink
+
+// StopStream is the sentinel a StreamSink's Drain returns to end a
+// stream early without an error — the stopping stripe counts as
+// drained, intake ceases, and Run reports success. DecodeStream uses it
+// internally once the requested payload is satisfied.
+var StopStream = pipeline.Stop
+
+// StageStats snapshots a stream engine's (or pool's) per-stage stall
+// counters: nanoseconds the fill stage waited for free slabs, compute
+// shards waited for work, and the in-order drain waited on stripe
+// completion — plus the stripes drained. The dominant counter names the
+// bottleneck stage.
+type StageStats = pipeline.StageStats
+
+// StreamPool is a fixed set of stream engines serving many concurrent
+// streams for one code + scenario pair: each Run checks an engine out,
+// so up to Size streams overlap their store I/O (and compute, given
+// cores) while excess callers queue — the admission bound.
+type StreamPool = pipeline.Pool
+
+// NewStreamPool builds a pool of size engines (size <= 0 selects the
+// autotuned pool size under cfg.Auto, else the core count). With
+// cfg.Workers unset, the engines divide the host's compute-shard budget
+// between them.
+func NewStreamPool(c Code, sc Scenario, sectorSize, size int, cfg StreamConfig) (*StreamPool, error) {
+	return pipeline.NewPool(c, sc, sectorSize, size, cfg)
+}
+
+// TuneProfile is one host's calibrated knob settings: kernel tile size
+// and fan-out threshold, pipeline depth and workers, and the serving
+// pool size, with the measurements that chose them.
+type TuneProfile = tune.Profile
+
+// TuneOptions bounds an explicit Calibrate sweep; the zero value is the
+// quick profile Autotune uses.
+type TuneOptions = tune.Options
+
+// Autotune returns this host's tuning profile — loading the one
+// persisted under os.UserCacheDir()/ppm (override with PPM_TUNE_DIR),
+// or calibrating and persisting a fresh one on first use — and installs
+// its kernel knobs. StreamConfig{Auto: true} does the same lazily;
+// PPM_TUNE=off disables both (Autotune then returns nil, nil).
+func Autotune() (*TuneProfile, error) {
+	p, err := tune.Get()
+	if err != nil || p == nil {
+		return nil, err
+	}
+	tune.Apply(p)
+	return p, nil
+}
+
+// Calibrate runs the knob sweeps now, regardless of any persisted
+// profile, and returns the winners without installing or saving them.
+// Use tune-aware callers sparingly: Autotune is the cached entry point.
+func Calibrate(o TuneOptions) (*TuneProfile, error) { return tune.Calibrate(o) }
 
 // NewStreamEngine builds a reusable pipeline engine for one code +
 // scenario pair (use EncodingScenario(c) for encoding). sectorSize > 0

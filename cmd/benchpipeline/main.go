@@ -269,8 +269,30 @@ func main() {
 		lat     = flag.Duration("lat", time.Millisecond, "store-mode per-stripe latency, paid per read and per write")
 		gate    = flag.Float64("gate", 1.3, "store-mode depth>=4 speedup floor")
 		out     = flag.String("o", "BENCH_pipeline.json", "output file")
+
+		traffic         = flag.Bool("traffic", false, "run the simulated-traffic serving comparison instead of the depth series")
+		trafficDuration = flag.Duration("traffic-duration", 5*time.Second, "traffic: open-loop arrival window")
+		trafficRate     = flag.Float64("traffic-rate", 480, "traffic: mean arrivals per second (default overloads the single engine)")
+		trafficStreams  = flag.Int("traffic-streams", 8, "traffic: admission cap on concurrent requests")
+		trafficStripes  = flag.Int("traffic-stripes", 4, "traffic: stripes per request object")
+		trafficLat      = flag.Duration("traffic-lat", time.Millisecond, "traffic: store latency per stripe, per edge")
+		trafficSeed     = flag.Int64("traffic-seed", 1, "traffic: arrival-schedule seed")
+		trafficGate     = flag.Float64("traffic-gate", 1.3, "traffic: pool-vs-single aggregate throughput floor (gated at >= 4 streams)")
+		trafficOut      = flag.String("traffic-o", "BENCH_traffic.json", "traffic: output file")
 	)
 	flag.Parse()
+	if *traffic {
+		os.Exit(trafficMain(trafficOptions{
+			duration: *trafficDuration,
+			rate:     *trafficRate,
+			streams:  *trafficStreams,
+			stripes:  *trafficStripes,
+			lat:      *trafficLat,
+			seed:     *trafficSeed,
+			gate:     *trafficGate,
+			out:      *trafficOut,
+		}))
+	}
 	if *payload < 1<<20 {
 		fmt.Fprintln(os.Stderr, "benchpipeline: -payload must be at least 1 MiB for the gate to be meaningful")
 		os.Exit(1)

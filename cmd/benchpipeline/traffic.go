@@ -1,0 +1,300 @@
+// Simulated-traffic mode: open-loop request arrivals against two
+// serving configurations — a single fixed-default engine (requests
+// serialise head-to-tail) and an autotuned engine pool (up to PoolSize
+// streams overlap their store waits). Each request is a store-backed
+// rebuild decode of a fixed multi-stripe object; latency is measured
+// from the *scheduled* arrival, so queueing delay under overload is
+// visible in the percentiles, and every response is verified against
+// the golden payload before it counts.
+//
+// The arrival schedule is deterministic (seeded exponential
+// interarrivals) and identical for both configurations; the default
+// rate deliberately exceeds the single engine's service capacity so the
+// comparison measures capacity, not idle time. The aggregate-throughput
+// ratio gates the run: with an admission cap of >= 4 concurrent
+// streams, the autotuned pool must reach `-traffic-gate` (default
+// 1.3x) the single engine's aggregate GB/s, or the command exits 1.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/pipeline"
+	"ppm/internal/tune"
+)
+
+type trafficOptions struct {
+	duration time.Duration // arrival window
+	rate     float64       // mean arrivals per second
+	streams  int           // admission cap: concurrent requests in service
+	stripes  int           // stripes per request object
+	lat      time.Duration // simulated store latency per stripe, per edge
+	seed     int64         // arrival-schedule seed
+	gate     float64       // pool-vs-single aggregate throughput floor
+	out      string        // report path
+}
+
+type trafficConfigResult struct {
+	Name      string  `json:"name"`
+	Engines   int     `json:"engines"`
+	Depth     int     `json:"depth"`
+	Workers   int     `json:"workers"`
+	Requests  int     `json:"requests"`
+	MakespanS float64 `json:"makespan_s"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	P999Ms    float64 `json:"p999_ms"`
+	GBs       float64 `json:"aggregate_gb_s"`
+
+	Stages pipeline.StageStats `json:"stages"`
+}
+
+type trafficReport struct {
+	Date         string  `json:"date"`
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	Instance     string  `json:"instance"`
+	DurationS    float64 `json:"duration_s"`
+	RateRps      float64 `json:"rate_rps"`
+	Streams      int     `json:"streams"`
+	ReqStripes   int     `json:"request_stripes"`
+	ReqBytes     int     `json:"request_bytes"`
+	StoreLatency string  `json:"store_latency_per_stripe"`
+	Seed         int64   `json:"seed"`
+	GateFloor    float64 `json:"gate_floor"`
+	Gated        bool    `json:"gated"`
+	Verified     bool    `json:"responses_verified"`
+
+	Profile *tune.Profile         `json:"tune_profile,omitempty"`
+	Configs []trafficConfigResult `json:"configs"`
+	Speedup float64               `json:"pool_vs_single_speedup"`
+}
+
+// arrivalSchedule returns the deterministic open-loop offsets: seeded
+// exponential interarrivals at the mean rate, within the window.
+func arrivalSchedule(o trafficOptions) []time.Duration {
+	rng := rand.New(rand.NewSource(o.seed))
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() * float64(time.Second) / o.rate)
+		if t >= o.duration {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// serveFunc drives one request's stripes through a serving
+// configuration.
+type serveFunc func(src pipeline.Source, sink pipeline.Sink) error
+
+// runTrafficConfig replays the arrival schedule against serve and
+// reports the latency distribution and aggregate throughput.
+func runTrafficConfig(ins *instance, o trafficOptions, arrivals []time.Duration, serve serveFunc) (trafficConfigResult, error) {
+	sem := make(chan struct{}, o.streams)
+	lats := make([]time.Duration, len(arrivals))
+	errs := make([]error, len(arrivals))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, off := range arrivals {
+		time.Sleep(time.Until(start.Add(off)))
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out := make([]byte, len(ins.payload))
+			src := &imgSource{img: ins.corrupt, stripeBytes: ins.stripeBytes(), sector: ins.sector,
+				stripes: o.stripes, lat: latency(o.lat)}
+			sink := &paySink{out: out, data: codes.DataPositions(ins.c), lat: latency(o.lat)}
+			if errs[i] = serve(src, sink); errs[i] != nil {
+				return
+			}
+			lats[i] = time.Since(sched)
+			if !bytes.Equal(out, ins.payload) {
+				errs[i] = errors.New("response payload differs from golden")
+			}
+		}(i, start.Add(off))
+	}
+	wg.Wait()
+	makespan := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return trafficConfigResult{}, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx]) / 1e6
+	}
+	reqBytes := o.stripes * ins.stripeBytes()
+	return trafficConfigResult{
+		Requests:  len(arrivals),
+		MakespanS: makespan.Seconds(),
+		P50Ms:     pct(0.50),
+		P99Ms:     pct(0.99),
+		P999Ms:    pct(0.999),
+		GBs:       float64(len(arrivals)) * float64(reqBytes) / 1e9 / makespan.Seconds(),
+	}, nil
+}
+
+// trafficInstance builds the request object: an SD rebuild of
+// `stripes` stripes with golden payload and corrupted image prepared.
+func trafficInstance(stripes int) (*instance, error) {
+	instances, err := buildInstances(1) // stripe counts are overridden below
+	if err != nil {
+		return nil, err
+	}
+	ins := instances[0] // SD(8,16,2,2), the paper's lead configuration
+	perStripe := len(codes.DataPositions(ins.c)) * ins.sector
+	ins.stripes = stripes
+	ins.payload = make([]byte, stripes*perStripe)
+	rand.New(rand.NewSource(42)).Read(ins.payload)
+
+	img, _, err := ins.runEncode(0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("golden encode: %w", err)
+	}
+	ins.golden = img
+	ins.corrupt = append([]byte(nil), img...)
+	sb := ins.stripeBytes()
+	for idx := 0; idx < ins.stripes; idx++ {
+		for _, f := range ins.sc.Faulty {
+			off := idx*sb + f*ins.sector
+			rand.New(rand.NewSource(int64(off))).Read(ins.corrupt[off : off+ins.sector])
+		}
+	}
+	return ins, nil
+}
+
+// trafficMain runs the simulated-traffic comparison and returns the
+// process exit code.
+func trafficMain(o trafficOptions) int {
+	ins, err := trafficInstance(o.stripes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
+		return 1
+	}
+	arrivals := arrivalSchedule(o)
+	if len(arrivals) == 0 {
+		fmt.Fprintln(os.Stderr, "benchpipeline: traffic: schedule is empty (raise -traffic-rate or -traffic-duration)")
+		return 1
+	}
+
+	rep := trafficReport{
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Instance:     ins.name,
+		DurationS:    o.duration.Seconds(),
+		RateRps:      o.rate,
+		Streams:      o.streams,
+		ReqStripes:   o.stripes,
+		ReqBytes:     o.stripes * ins.stripeBytes(),
+		StoreLatency: o.lat.String(),
+		Seed:         o.seed,
+		GateFloor:    o.gate,
+		Gated:        o.streams >= 4,
+		Verified:     true,
+	}
+
+	// Configuration A: one fixed-default engine; concurrent requests
+	// serialise on it (the Engine contract), so the admission cap buys
+	// nothing — this is the baseline a naive server runs.
+	single, err := pipeline.New(ins.c, ins.sc, ins.sector, pipeline.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
+		return 1
+	}
+	var mu sync.Mutex
+	singleRes, err := runTrafficConfig(ins, o, arrivals, func(src pipeline.Source, sink pipeline.Sink) error {
+		mu.Lock()
+		defer mu.Unlock()
+		_, err := single.Run(src, sink)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: single-default: %v\n", err)
+		return 1
+	}
+	singleRes.Name = "single-default"
+	singleRes.Engines = 1
+	singleRes.Depth = single.Config().Depth
+	singleRes.Workers = single.Config().Workers
+	singleRes.Stages = single.StageStats()
+	single.Close()
+
+	// Configuration B: the autotuned pool — calibrated knobs, PoolSize
+	// engines, store waits overlapping across checked-out engines.
+	rep.Profile, err = tune.Get()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: calibrate: %v\n", err)
+		return 1
+	}
+	pool, err := pipeline.NewPool(ins.c, ins.sc, ins.sector, 0, pipeline.Config{Auto: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
+		return 1
+	}
+	poolRes, err := runTrafficConfig(ins, o, arrivals, func(src pipeline.Source, sink pipeline.Sink) error {
+		_, err := pool.Run(src, sink)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: pool-autotuned: %v\n", err)
+		return 1
+	}
+	poolRes.Name = "pool-autotuned"
+	poolRes.Engines = pool.Size()
+	poolRes.Depth = pool.Config().Depth
+	poolRes.Workers = pool.Config().Workers
+	poolRes.Stages = pool.StageStats()
+	pool.Close()
+
+	rep.Configs = []trafficConfigResult{singleRes, poolRes}
+	rep.Speedup = poolRes.GBs / singleRes.GBs
+
+	fmt.Printf("traffic: %s, %d requests over %.1fs (rate %.0f/s, %d streams, %d stripes/req, store %s)\n",
+		ins.name, len(arrivals), o.duration.Seconds(), o.rate, o.streams, o.stripes, o.lat)
+	for _, r := range rep.Configs {
+		fmt.Printf("  %-15s engines=%d depth=%d workers=%d  p50=%7.1fms p99=%7.1fms p999=%7.1fms  %.3f GB/s (makespan %.1fs)\n",
+			r.Name, r.Engines, r.Depth, r.Workers, r.P50Ms, r.P99Ms, r.P999Ms, r.GBs, r.MakespanS)
+	}
+	fmt.Printf("  pool-vs-single speedup: %.2fx (gate %.2fx, %s)\n",
+		rep.Speedup, o.gate, map[bool]string{true: "gated", false: "informational"}[rep.Gated])
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", o.out)
+
+	if rep.Gated && rep.Speedup < o.gate {
+		fmt.Fprintf(os.Stderr, "benchpipeline: traffic gate failure: pool %.2fx single < %.2fx floor\n",
+			rep.Speedup, o.gate)
+		return 1
+	}
+	return 0
+}

@@ -17,7 +17,7 @@ import (
 //
 // Application is cache-blocked: the tiled driver applies the whole
 // matrix to one tile of the byte range before the next (see tile.go),
-// and regions of parallelMinBytes and up fan their tile spans out
+// and regions of FanoutMinBytes() and up fan their tile spans out
 // across the persistent worker pool, composing with the executors'
 // group-level parallelism.
 //
@@ -92,11 +92,11 @@ func (cm *CompiledMatrix) checkShape(in, out [][]byte) {
 
 // Apply computes out[i] ^= Σ_j M[i][j] * in[j], like kernel.Apply but
 // on the pre-lowered form: tiled, fused, and — for regions of
-// parallelMinBytes and up — fanned out across the worker pool.
+// FanoutMinBytes() and up — fanned out across the worker pool.
 func (cm *CompiledMatrix) Apply(in, out [][]byte, stats *Stats) {
 	cm.checkShape(in, out)
 	size := regionLen(out)
-	if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= parallelMinBytes {
+	if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= FanoutMinBytes() {
 		if err := DefaultWorkers().Run(len(spans), func(i int) error {
 			cm.applySpan(in, out, spans[i][0], spans[i][1])
 			return nil
@@ -223,7 +223,7 @@ func CompiledProduct(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq 
 		s.checkShape(in, scratchOrOut(scratch, out))
 		finv.checkShape(scratchOrOut(scratch, out), out)
 		size := regionLen(out)
-		if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= parallelMinBytes {
+		if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= FanoutMinBytes() {
 			if err := DefaultWorkers().Run(len(spans), func(i int) error {
 				chainSpan(finv, s, in, out, scratch, spans[i][0], spans[i][1])
 				return nil

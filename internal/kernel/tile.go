@@ -26,16 +26,25 @@ const (
 	// minTileBytes bounds the knob from below: tiles smaller than this
 	// spend more time re-slicing views than multiplying.
 	minTileBytes = 512
-	// parallelMinBytes is the region size at which the compiled apply
-	// fans tile spans out across the worker pool: below it the fan-out
-	// dispatch costs more than it overlaps, and keeping small regions
-	// serial preserves the allocation-free repeated-decode path.
-	parallelMinBytes = 1 << 20
+	// defaultFanoutMinBytes is the region size at which the compiled
+	// apply fans tile spans out across the worker pool: below it the
+	// fan-out dispatch costs more than it overlaps, and keeping small
+	// regions serial preserves the allocation-free repeated-decode path.
+	defaultFanoutMinBytes = 1 << 20
+	// minFanoutBytes bounds the fan-out threshold from below: fanning
+	// out sub-tile regions is pure dispatch overhead.
+	minFanoutBytes = 4 << 10
 )
 
-var tileBytes atomic.Int64
+var (
+	tileBytes   atomic.Int64
+	fanoutBytes atomic.Int64
+)
 
-func init() { tileBytes.Store(defaultTileBytes) }
+func init() {
+	tileBytes.Store(defaultTileBytes)
+	fanoutBytes.Store(defaultFanoutMinBytes)
+}
 
 // TileSize returns the current cache-blocking tile size in bytes.
 func TileSize() int { return int(tileBytes.Load()) }
@@ -53,6 +62,25 @@ func SetTileSize(n int) {
 		n = minTileBytes
 	}
 	tileBytes.Store(int64((n + 7) &^ 7))
+}
+
+// FanoutMinBytes returns the region size at which one compiled apply
+// fans its tile spans out across the worker pool.
+func FanoutMinBytes() int { return int(fanoutBytes.Load()) }
+
+// SetFanoutMinBytes sets the worker fan-out threshold. n is clamped
+// below at 4 KiB; n <= 0 restores the 1 MiB default. Like the tile
+// size it is a process-wide knob the autotuner owns: safe to adjust
+// concurrently with running decodes, which keep the threshold they
+// started with.
+func SetFanoutMinBytes(n int) {
+	if n <= 0 {
+		n = defaultFanoutMinBytes
+	}
+	if n < minFanoutBytes {
+		n = minFanoutBytes
+	}
+	fanoutBytes.Store(int64(n))
 }
 
 // tileSpans splits [0, size) into at most `parts` spans of whole tiles

@@ -242,7 +242,7 @@ func TestTiledProductMatchesReference(t *testing.T) {
 	}
 }
 
-// TestCompiledApplyParallelPath: a region at/above parallelMinBytes
+// TestCompiledApplyParallelPath: a region at/above FanoutMinBytes()
 // takes the worker fan-out arm and must still match the serial
 // reference bit for bit with the full operation count. Run under -race
 // this also proves the fan-out is data-race-free.
@@ -252,7 +252,7 @@ func TestCompiledApplyParallelPath(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(406))
 	f := gf.GF16
-	size := parallelMinBytes + 2*TileSize() + 2 // sub-tile, sub-word-8 tail
+	size := FanoutMinBytes() + 2*TileSize() + 2 // sub-tile, sub-word-8 tail
 	m := randMatrix(rng, f, 3, 5)
 	in := randRegions(rng, 5, size)
 

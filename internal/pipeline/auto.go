@@ -1,0 +1,47 @@
+package pipeline
+
+import "sync/atomic"
+
+// The autotune seam. internal/tune owns calibration (it measures this
+// package, so this package cannot import it); it registers resolvers
+// here at init, and Config.Auto / NewPool consult them. Without a
+// registered resolver Auto degrades to the static defaults.
+
+var (
+	autoTuner    atomic.Value // func(Config) Config
+	autoPoolFunc atomic.Value // func() int
+)
+
+// RegisterAutoTuner installs the resolver Config.Auto consults: it
+// receives the caller's config and returns it with unset knobs filled
+// from the host profile (applying process-wide kernel knobs as a side
+// effect). Registered by internal/tune's init.
+func RegisterAutoTuner(fn func(Config) Config) { autoTuner.Store(fn) }
+
+// RegisterAutoPoolSize installs the resolver NewPool consults for a
+// default pool size under Config.Auto.
+func RegisterAutoPoolSize(fn func() int) { autoPoolFunc.Store(fn) }
+
+// resolveAuto applies the registered tuner to an Auto config. The Auto
+// flag is cleared so a config resolved once (e.g. by NewPool for all
+// its engines) is not re-resolved by each New.
+func resolveAuto(cfg Config) Config {
+	if !cfg.Auto {
+		return cfg
+	}
+	cfg.Auto = false
+	if fn, ok := autoTuner.Load().(func(Config) Config); ok && fn != nil {
+		cfg = fn(cfg)
+		cfg.Auto = false
+	}
+	return cfg
+}
+
+// resolveAutoPoolSize returns the registered pool-size default, or 0
+// when none is registered.
+func resolveAutoPoolSize() int {
+	if fn, ok := autoPoolFunc.Load().(func() int); ok && fn != nil {
+		return fn()
+	}
+	return 0
+}

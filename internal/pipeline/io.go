@@ -98,7 +98,10 @@ func (s *imageSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error)
 
 // dataSink writes the data sectors back out, trimmed to the remaining
 // payload size (remaining < 0 writes every data byte, padding
-// included).
+// included). Once the payload is satisfied it returns Stop, so the
+// engine stops filling and decoding stripes whose output would be
+// trimmed entirely — a short payload over a long stream decodes only
+// ⌈payload/stripe⌉ stripes instead of the whole stream.
 type dataSink struct {
 	w         io.Writer
 	data      []int
@@ -109,7 +112,7 @@ type dataSink struct {
 func (k *dataSink) Drain(_ int, st *stripe.Stripe) error {
 	for _, pos := range k.data {
 		if k.remaining == 0 {
-			return nil
+			return Stop
 		}
 		sec := st.Sector(pos)
 		if k.remaining > 0 && int64(len(sec)) > k.remaining {
@@ -123,6 +126,9 @@ func (k *dataSink) Drain(_ int, st *stripe.Stripe) error {
 		if err != nil {
 			return err
 		}
+	}
+	if k.remaining == 0 {
+		return Stop
 	}
 	return nil
 }
@@ -148,9 +154,11 @@ func EncodeStream(c codes.Code, dst io.Writer, src io.Reader, sectorSize int, cf
 // ignored and reconstructed), and writes the payload's data bytes to
 // dst. payload is the original byte count from the matching
 // EncodeStream, used to trim the final stripe's zero padding; pass a
-// negative payload to emit every data byte, padding included. An empty
-// scenario turns DecodeStream into an overlapped extract of an intact
-// stream.
+// negative payload to emit every data byte, padding included. Decoding
+// stops once the payload is satisfied: a short payload over a long
+// stream reads and decodes only ⌈payload/stripe payload⌉ stripes. An
+// empty scenario turns DecodeStream into an overlapped extract of an
+// intact stream.
 func DecodeStream(c codes.Code, dst io.Writer, src io.Reader, sc codes.Scenario, payload int64, sectorSize int, cfg Config) (Result, error) {
 	e, err := New(c, sc, sectorSize, cfg)
 	if err != nil {

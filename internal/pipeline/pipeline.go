@@ -20,9 +20,12 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"ppm/internal/codes"
 	"ppm/internal/core"
@@ -50,16 +53,27 @@ type Sink interface {
 // DefaultDepth is the default number of in-flight stripes.
 const DefaultDepth = 4
 
+// Stop is the sentinel a Sink returns from Drain to end the stream
+// early without an error: the stripe that returned it still counts as
+// drained, intake stops at the next stripe boundary, everything in
+// flight is recycled without further Drain calls, and Run returns nil.
+// DecodeStream's payload-trimming sink uses it to stop decoding once
+// the requested payload is satisfied instead of burning compute on
+// stripes whose output would be trimmed entirely.
+var Stop = errors.New("pipeline: stop")
+
 // Config tunes an Engine.
 type Config struct {
 	// Depth bounds the number of stripes in flight (and the number of
 	// stripe slabs the engine allocates). Depth 1 degenerates to a
 	// serial loop with the plan still amortised; <= 0 selects
-	// DefaultDepth.
+	// max(DefaultDepth, Workers) — queue depth must cover the compute
+	// shards or they starve, but it is otherwise an independent knob
+	// (how much I/O to keep in flight, not how many cores to use).
 	Depth int
 	// Workers is the number of compute shards pulling stripes off the
-	// fill stage; <= 0 selects min(Depth, NumCPU). Each shard occupies
-	// one kernel.Workers slot for the engine's lifetime.
+	// fill stage; <= 0 selects NumCPU. Each shard occupies one
+	// kernel.Workers slot for the engine's lifetime.
 	Workers int
 	// Threads is the per-stripe worker count for the plan's parallel
 	// phase; <= 0 selects 1 (the pipeline parallelises across stripes,
@@ -69,6 +83,12 @@ type Config struct {
 	Strategy core.Strategy
 	// Stats, when non-nil, accumulates mult_XORs across the stream.
 	Stats *kernel.Stats
+	// Auto fills the unset knobs (Depth, Workers, and the process-wide
+	// kernel tile size / fan-out threshold) from the host's calibrated
+	// autotune profile. The resolver is registered by importing
+	// internal/tune (the root ppm package does); without a registered
+	// resolver Auto is a no-op and the static defaults above apply.
+	Auto bool
 }
 
 // job is one in-flight stripe. The engine pre-allocates Depth jobs and
@@ -113,7 +133,19 @@ type Engine struct {
 	// shards than configured.
 	shardErr atomic.Value // error
 
-	closed bool
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	// Stage stall accounting (see StageStats): cumulative nanoseconds
+	// each stage spent blocked waiting on its upstream/downstream, plus
+	// the stripes drained. running/runStart let the compute shards
+	// exclude between-run idle time from their stall count.
+	fillStall    atomic.Int64
+	computeStall atomic.Int64
+	drainStall   atomic.Int64
+	stripes      atomic.Int64
+	running      atomic.Bool
+	runStart     atomic.Int64 // UnixNano of the active run's start
 
 	// Test hooks (same-package tests only): testDelay stalls a stripe's
 	// compute to force out-of-order completion; testFail injects a
@@ -129,13 +161,18 @@ type Engine struct {
 // path). The scenario may be empty, in which case the compute stage is
 // a passthrough (useful for overlapped read/extract with no repair).
 func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, error) {
+	cfg = resolveAuto(cfg)
+	// Depth (queue) and Workers (parallelism) are distinct knobs with
+	// independent defaults: workers follow the core count, depth covers
+	// the shards plus I/O headroom. The old min(Depth, NumCPU) coupling
+	// silently capped compute at DefaultDepth shards on many-core hosts.
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
 	if cfg.Depth <= 0 {
 		cfg.Depth = DefaultDepth
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = cfg.Depth
-		if n := runtime.NumCPU(); cfg.Workers > n {
-			cfg.Workers = n
+		if cfg.Depth < cfg.Workers {
+			cfg.Depth = cfg.Workers
 		}
 	}
 	if cfg.Threads <= 0 {
@@ -199,16 +236,20 @@ func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, 
 // inspection and cost analysis.
 func (e *Engine) Plan() *core.Plan { return e.plan }
 
+// Config returns the engine's configuration with every default (and,
+// under Auto, every autotuned knob) resolved.
+func (e *Engine) Config() Config { return e.cfg }
+
 // Close shuts the engine's stage goroutines down and releases its pool
 // slots. Close must not be called while a Run is in progress; it is
-// idempotent.
+// idempotent and safe to call from several goroutines at once (two
+// deferred Closes racing must not double-close the stage channels).
 func (e *Engine) Close() {
-	if e.closed {
-		return
-	}
-	e.closed = true
-	close(e.start)
-	close(e.work)
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		close(e.start)
+		close(e.work)
+	})
 }
 
 // Run drives one stream through the pipeline and reports the number of
@@ -227,7 +268,7 @@ func (e *Engine) Run(src Source, dst Sink) (int, error) {
 // failure takes precedence. After Run returns — error or not — the
 // engine is reusable.
 func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, error) {
-	if e.closed {
+	if e.closed.Load() {
 		return 0, fmt.Errorf("pipeline: engine is closed")
 	}
 	if err, _ := e.shardErr.Load().(error); err != nil {
@@ -236,22 +277,40 @@ func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, err
 	e.src = src
 	e.ctx = ctx
 	e.stop.Store(false)
+	e.runStart.Store(time.Now().UnixNano())
+	e.running.Store(true)
+	defer e.running.Store(false)
 	e.start <- struct{}{}
 
 	var firstErr error
 	done := ctx.Done()
 	drained := 0
+	stopped := false // a Sink returned Stop: finish draining, no error
 	for {
-		j := <-e.order
+		var j *job
+		select {
+		case j = <-e.order:
+		default:
+			t0 := time.Now()
+			j = <-e.order
+			e.drainStall.Add(int64(time.Since(t0)))
+		}
 		if j == e.sentinel {
 			break
 		}
-		err := <-j.done
-		if firstErr == nil && err != nil {
+		var err error
+		select {
+		case err = <-j.done:
+		default:
+			t0 := time.Now()
+			err = <-j.done
+			e.drainStall.Add(int64(time.Since(t0)))
+		}
+		if firstErr == nil && !stopped && err != nil {
 			firstErr = fmt.Errorf("pipeline: stripe %d: %w", j.idx, err)
 			e.stop.Store(true)
 		}
-		if firstErr == nil {
+		if firstErr == nil && !stopped {
 			select {
 			case <-done:
 				firstErr = ctx.Err()
@@ -259,18 +318,27 @@ func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, err
 			default:
 			}
 		}
-		if firstErr == nil {
-			if derr := dst.Drain(j.idx, j.st); derr != nil {
+		if firstErr == nil && !stopped {
+			switch derr := dst.Drain(j.idx, j.st); {
+			case derr == nil:
+				drained++
+				e.stripes.Add(1)
+			case errors.Is(derr, Stop):
+				// The sink is satisfied: this stripe still counts, the
+				// rest of the stream is skipped without error.
+				drained++
+				e.stripes.Add(1)
+				stopped = true
+				e.stop.Store(true)
+			default:
 				firstErr = fmt.Errorf("pipeline: stripe %d: %w", j.idx, derr)
 				e.stop.Store(true)
-			} else {
-				drained++
 			}
 		}
 		j.st = nil // do not pin caller stripes across runs
 		e.free <- j
 	}
-	if firstErr == nil {
+	if firstErr == nil && !stopped {
 		// The fill stage may have stopped on cancellation before any
 		// stripe reached the drain stage.
 		select {
@@ -308,6 +376,16 @@ func (e *Engine) fillOne() {
 			// Cancelled while every slab is in flight; the drain stage
 			// observes ctx itself.
 			j = nil
+		default:
+			// Blocking on the free list means compute + drain hold every
+			// slab: the fill stage is stalled by its downstream.
+			t0 := time.Now()
+			select {
+			case j = <-e.free:
+			case <-done:
+				j = nil
+			}
+			e.fillStall.Add(int64(time.Since(t0)))
 		}
 		if j == nil {
 			break
@@ -339,7 +417,31 @@ func (e *Engine) fillOne() {
 //
 //ppm:hotpath
 func (e *Engine) computeLoop() {
-	for j := range e.work {
+	for {
+		var j *job
+		var ok bool
+		select {
+		case j, ok = <-e.work:
+		default:
+			// Blocking on work while a run is active means the fill
+			// stage (I/O) cannot keep the shards fed. Between-run idle
+			// is excluded: stall time is clipped to the current run's
+			// start, and not counted at all while no run is active.
+			t0 := time.Now().UnixNano()
+			j, ok = <-e.work
+			if e.running.Load() {
+				start := e.runStart.Load()
+				if t0 > start {
+					start = t0
+				}
+				if d := time.Now().UnixNano() - start; d > 0 {
+					e.computeStall.Add(d)
+				}
+			}
+		}
+		if !ok {
+			return
+		}
 		if e.stop.Load() {
 			j.done <- nil
 			continue
@@ -419,6 +521,9 @@ func Serial(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config, src Sou
 			}
 		}
 		if err := dst.Drain(idx, st); err != nil {
+			if errors.Is(err, Stop) {
+				return idx + 1, nil
+			}
 			return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
 		}
 	}

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ppm/internal/codes"
+)
+
+var errPoolClosed = errors.New("pipeline: pool is closed")
+
+// Pool is a fixed set of independent engines for the same code +
+// scenario pair, serving many concurrent streams: each RunContext
+// checks an engine out, drives one stream, and returns it. One Engine
+// serialises its runs, so concurrent request serving through a single
+// engine queues head-to-tail; a pool overlaps up to Size streams —
+// their store I/O always, and their compute too once the host has the
+// cores (each engine keeps its own compute shards). The plan is still
+// compiled once per engine, at construction, never per stream.
+//
+// A Pool is safe for concurrent RunContext calls. Close must not be
+// called while streams are running (the Engine contract), and is
+// idempotent.
+//
+//ppm:nocopy
+type Pool struct {
+	engines   chan *Engine
+	all       []*Engine
+	closeOnce sync.Once
+}
+
+// NewPool builds size engines (size <= 0 selects the autotune
+// profile's pool size under cfg.Auto, else max(2, NumCPU)) sharing one
+// config. When the caller leaves cfg.Workers unset, the per-engine
+// compute shards divide the host budget (NumCPU, or the profile's
+// worker count under cfg.Auto) across the pool instead of letting the
+// first engine claim every kernel pool slot for its lifetime.
+func NewPool(c codes.Code, sc codes.Scenario, sectorSize, size int, cfg Config) (*Pool, error) {
+	wasAuto := cfg.Auto
+	callerWorkers := cfg.Workers
+	cfg = resolveAuto(cfg)
+	if size <= 0 {
+		if wasAuto {
+			size = resolveAutoPoolSize()
+		}
+		if size <= 0 {
+			size = runtime.NumCPU()
+			if size < 2 {
+				size = 2
+			}
+		}
+	}
+	if callerWorkers <= 0 {
+		budget := cfg.Workers
+		if budget <= 0 {
+			budget = runtime.NumCPU()
+		}
+		cfg.Workers = budget / size
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	p := &Pool{
+		engines: make(chan *Engine, size),
+		all:     make([]*Engine, 0, size),
+	}
+	for i := 0; i < size; i++ {
+		e, err := New(c, sc, sectorSize, cfg)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pipeline: pool engine %d: %w", i, err)
+		}
+		p.all = append(p.all, e)
+		p.engines <- e
+	}
+	return p, nil
+}
+
+// Size returns the number of engines in the pool.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Config returns the per-engine configuration the pool resolved at
+// construction (after autotune and worker-budget division).
+func (p *Pool) Config() Config {
+	if len(p.all) == 0 {
+		return Config{}
+	}
+	return p.all[0].cfg
+}
+
+// get checks an engine out, honouring ctx while every engine is busy.
+//
+//ppm:hotpath
+func (p *Pool) get(ctx context.Context) (*Engine, error) {
+	select {
+	case e, ok := <-p.engines:
+		if !ok {
+			return nil, errPoolClosed
+		}
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// put returns a checked-out engine.
+//
+//ppm:hotpath
+func (p *Pool) put(e *Engine) {
+	p.engines <- e
+}
+
+// Run drives one stream through a checked-out engine. See RunContext.
+func (p *Pool) Run(src Source, dst Sink) (int, error) {
+	return p.RunContext(context.Background(), src, dst)
+}
+
+// RunContext checks an engine out (waiting, under ctx, while all Size
+// engines are busy — the pool's admission bound), drives one stream
+// through it with the Engine.RunContext contract, and returns the
+// engine for the next stream.
+func (p *Pool) RunContext(ctx context.Context, src Source, dst Sink) (int, error) {
+	e, err := p.get(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer p.put(e)
+	return e.RunContext(ctx, src, dst)
+}
+
+// StageStats aggregates the stall counters of every engine in the
+// pool — the serving-level view: compute stall rising with stream
+// count means the host is out of cores, fill/drain stall means the
+// store is the bottleneck.
+func (p *Pool) StageStats() StageStats {
+	var s StageStats
+	for _, e := range p.all {
+		s.Add(e.StageStats())
+	}
+	return s
+}
+
+// Close closes every engine. Idempotent; must not race a RunContext.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		for _, e := range p.all {
+			e.Close()
+		}
+		close(p.engines)
+		// Drain the checked-in engines so a later get() sees the closed,
+		// empty channel instead of checking out a dead engine.
+		for range p.engines {
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/stripe"
+)
+
+// TestPoolConcurrentStreams drives more concurrent encode streams than
+// the pool has engines and checks every stream's output byte-for-byte
+// against the serial loop. Under -race this also pins the checkout
+// protocol.
+func TestPoolConcurrentStreams(t *testing.T) {
+	sd := testSD(t)
+	const sector = 128
+	const streams = 8
+	perStripe := len(codes.DataPositions(sd)) * sector
+
+	// Distinct payloads (ragged tails included) and their serial images,
+	// prepared before the goroutines launch so helpers may t.Fatal.
+	datas := make([][]byte, streams)
+	wants := make([][]byte, streams)
+	for i := range datas {
+		data := make([]byte, perStripe*3+i*37)
+		rand.New(rand.NewSource(int64(100 + i))).Read(data)
+		datas[i] = data
+		wants[i] = encodeSerialImages(t, sd, data, sector)
+	}
+
+	p, err := NewPool(sd, codes.EncodingScenario(sd), sector, 3, Config{Depth: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("pool size %d, want 3", p.Size())
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, streams)
+	errs := make([]error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := &readerSource{r: bytes.NewReader(datas[i]), data: codes.DataPositions(sd)}
+			_, errs[i] = p.Run(src, &imageSink{w: &outs[i]})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i].Bytes(), wants[i]) {
+			t.Fatalf("stream %d: pool output differs from the serial loop's", i)
+		}
+	}
+
+	stats := p.StageStats()
+	var wantStripes int64
+	for i := range datas {
+		wantStripes += int64((len(datas[i]) + perStripe - 1) / perStripe)
+	}
+	if stats.Stripes != wantStripes {
+		t.Errorf("pool drained %d stripes, want %d", stats.Stripes, wantStripes)
+	}
+}
+
+// TestPoolWorkerBudget: with Workers unset the per-engine shards divide
+// the host budget across the pool instead of each engine claiming the
+// full core count.
+func TestPoolWorkerBudget(t *testing.T) {
+	sd := testSD(t)
+	p, err := NewPool(sd, codes.EncodingScenario(sd), 64, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got := p.Config().Workers
+	if got < 1 {
+		t.Fatalf("pool engine workers %d, want >= 1", got)
+	}
+	if want := maxInt(1, runtime.NumCPU()/2); got != want {
+		t.Errorf("pool engine workers %d, want budget/size = %d", got, want)
+	}
+
+	// An explicit Workers value is honoured verbatim.
+	p2, err := NewPool(sd, codes.EncodingScenario(sd), 64, 2, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.Config().Workers; got != 3 {
+		t.Errorf("explicit workers: got %d, want 3", got)
+	}
+}
+
+// TestPoolAdmission: when every engine is busy, RunContext waits under
+// the caller's context and honours cancellation without leaking an
+// engine checkout.
+func TestPoolAdmission(t *testing.T) {
+	sd := testSD(t)
+	p, err := NewPool(sd, codes.EncodingScenario(sd), 64, 1, Config{Depth: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := &gatedSource{count: 2, started: started, gate: gate}
+		if _, err := p.Run(src, &recordSink{}); err != nil {
+			t.Errorf("gated stream: %v", err)
+		}
+	}()
+	<-started // the single engine is now checked out and mid-stream
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.RunContext(ctx, &constSource{count: 1}, &recordSink{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("busy-pool RunContext err = %v, want DeadlineExceeded", err)
+	}
+
+	close(gate)
+	wg.Wait()
+
+	// The engine came back: the pool serves again.
+	if _, err := p.Run(&constSource{count: 1}, &recordSink{}); err != nil {
+		t.Fatalf("post-admission run: %v", err)
+	}
+}
+
+// gatedSource signals started on the first Next and then blocks until
+// gate closes.
+type gatedSource struct {
+	count   int
+	started chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (s *gatedSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	s.once.Do(func() { close(s.started) })
+	<-s.gate
+	if idx >= s.count {
+		return nil, nil
+	}
+	return slab, nil
+}
+
+// TestPoolClose: Close is idempotent and a closed pool rejects new
+// streams instead of hanging.
+func TestPoolClose(t *testing.T) {
+	sd := testSD(t)
+	p, err := NewPool(sd, codes.EncodingScenario(sd), 64, 2, Config{Depth: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	if _, err := p.Run(&constSource{count: 1}, &recordSink{}); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("run on closed pool err = %v, want errPoolClosed", err)
+	}
+}

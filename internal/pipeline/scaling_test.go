@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ppm/internal/codes"
+)
+
+// TestPoolScalingAcrossGOMAXPROCS is the multi-core scaling regression:
+// aggregate pool throughput over latency-modelled streams must be
+// monotone non-decreasing (within tolerance) as GOMAXPROCS grows
+// through 1, 2 and NumCPU. The streams sleep per stripe on both edges,
+// so even a single P overlaps store waits across engines; adding Ps
+// must never make the aggregate slower. The 25% tolerance absorbs
+// scheduler jitter — the defect this pins (workers silently capped by
+// depth, pools serialising on one engine) loses far more than 25%.
+func TestPoolScalingAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling matrix is wall-clock bound")
+	}
+	sd := testSD(t)
+
+	levels := []int{1, 2, runtime.NumCPU()}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	const (
+		streams    = 4
+		perStream  = 12
+		lat        = 1 * time.Millisecond
+		iowait     = 2 * perStream * int64(lat) // serial store time per stream
+		poolSize   = 4
+		tolerance  = 0.75 // later level must reach 75% of earlier
+		levelIters = 3    // best-of to shed scheduler noise
+	)
+
+	seen := map[int]bool{}
+	var lastProcs int
+	var lastThr float64
+	for _, procs := range levels {
+		if procs < 1 || seen[procs] {
+			continue
+		}
+		seen[procs] = true
+		runtime.GOMAXPROCS(procs)
+
+		p, err := NewPool(sd, codes.EncodingScenario(sd), 512, poolSize, Config{Depth: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var best time.Duration
+		for iter := 0; iter < levelIters; iter++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for s := 0; s < streams; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					src := &sleepSource{count: perStream, d: lat}
+					if _, err := p.Run(src, &sleepSink{d: lat}); err != nil {
+						t.Errorf("stream: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		p.Close()
+		if t.Failed() {
+			t.Fatal("stream errors above")
+		}
+
+		thr := float64(streams*perStream) / best.Seconds()
+		t.Logf("GOMAXPROCS=%d: %.0f stripes/s (best of %d, serial store floor %.0f)",
+			procs, thr, levelIters, float64(streams*perStream)/(float64(streams)*float64(iowait)/1e9))
+		if lastThr > 0 && thr < lastThr*tolerance {
+			t.Errorf("throughput regressed with more cores: GOMAXPROCS=%d got %.0f stripes/s, GOMAXPROCS=%d had %.0f",
+				procs, thr, lastProcs, lastThr)
+		}
+		lastProcs, lastThr = procs, thr
+	}
+}

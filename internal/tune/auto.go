@@ -1,0 +1,89 @@
+package tune
+
+import (
+	"os"
+	"sync"
+
+	"ppm/internal/pipeline"
+)
+
+// The pipeline.Config.Auto seam: importing this package registers Get
+// as the resolver, so an Auto engine/pool transparently loads (or, on
+// first use per host, calibrates and persists) the profile and runs
+// with its knobs. PPM_TUNE=off short-circuits everything.
+
+func init() {
+	pipeline.RegisterAutoTuner(autoConfig)
+	pipeline.RegisterAutoPoolSize(func() int {
+		p, err := Get()
+		if err != nil || p == nil {
+			return 0
+		}
+		return p.PoolSize
+	})
+}
+
+func disabled() bool {
+	v := os.Getenv(EnvDisable)
+	return v == "off" || v == "0"
+}
+
+var (
+	mu       sync.Mutex
+	memoized bool
+	memoProf *Profile
+	memoErr  error
+)
+
+// Get returns the host profile, loading the persisted one when it
+// matches this host and otherwise calibrating and saving a fresh one.
+// The result is memoized for the process; a disabled tuner
+// (PPM_TUNE=off) returns (nil, nil) and Auto configs fall back to the
+// static defaults. Calibration takes a few hundred milliseconds — the
+// cost is paid once per host, not per engine.
+func Get() (*Profile, error) {
+	if disabled() {
+		return nil, nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if memoized {
+		return memoProf, memoErr
+	}
+	p, err := Load()
+	if err != nil {
+		p, err = Calibrate(Options{})
+		if err == nil {
+			// A read-only cache dir degrades to per-process calibration;
+			// the profile still serves this process.
+			_ = Save(p)
+		}
+	}
+	memoized, memoProf, memoErr = true, p, err
+	return p, err
+}
+
+// resetForTest drops the memoized profile so tests can swap
+// PPM_TUNE_DIR between cases.
+func resetForTest() {
+	mu.Lock()
+	memoized, memoProf, memoErr = false, nil, nil
+	mu.Unlock()
+}
+
+// autoConfig is the pipeline resolver: apply the profile's kernel
+// knobs and fill the unset pipeline knobs.
+func autoConfig(cfg pipeline.Config) pipeline.Config {
+	p, err := Get()
+	if err != nil || p == nil {
+		return cfg
+	}
+	Apply(p)
+	if cfg.Depth <= 0 {
+		cfg.Depth = p.Depth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = p.Workers
+	}
+	return cfg
+}

@@ -1,0 +1,381 @@
+package tune
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/kernel"
+	"ppm/internal/pipeline"
+	"ppm/internal/stripe"
+)
+
+// Options bounds a calibration run. The zero value is the quick
+// profile New/Get uses (a few hundred milliseconds on a laptop core);
+// benchmarks that can afford longer sweeps raise Iters and the
+// payload knobs.
+type Options struct {
+	// Tiles are the tile-size candidates (default 8/16/32/64/128 KiB).
+	Tiles []int
+	// TileSector is the sector size of the tile-sweep stripe (default
+	// 256 KiB — big enough that cache blocking decides the sweep).
+	TileSector int
+	// Fanouts are the fan-out threshold candidates (default 256 KiB –
+	// 2 MiB; the sweep is skipped on single-core hosts, where fan-out
+	// never engages usefully).
+	Fanouts []int
+	// FanoutSector is the sector size of the fan-out sweep stripe
+	// (default 2 MiB, so every candidate threshold is crossed).
+	FanoutSector int
+	// Iters is the timed runs per candidate, best kept (default 2,
+	// plus one warm-up).
+	Iters int
+	// MemStripes is the batch length of the in-memory worker sweep
+	// (default 32).
+	MemStripes int
+	// MemSector is the sector size of the worker/depth sweeps (default
+	// 4 KiB — the serving shape).
+	MemSector int
+	// StoreLatency is the simulated per-stripe store latency of the
+	// depth sweep, paid on fill and on drain (default 200µs).
+	StoreLatency time.Duration
+	// StoreStripes is the stream length of the depth sweep (default 24).
+	StoreStripes int
+}
+
+func (o *Options) defaults() {
+	if len(o.Tiles) == 0 {
+		o.Tiles = []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	}
+	if o.TileSector <= 0 {
+		o.TileSector = 256 << 10
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	}
+	if o.FanoutSector <= 0 {
+		o.FanoutSector = 2 << 20
+	}
+	if o.Iters <= 0 {
+		o.Iters = 2
+	}
+	if o.MemStripes <= 0 {
+		o.MemStripes = 32
+	}
+	if o.MemSector <= 0 {
+		o.MemSector = 4 << 10
+	}
+	if o.StoreLatency <= 0 {
+		o.StoreLatency = 200 * time.Microsecond
+	}
+	if o.StoreStripes <= 0 {
+		o.StoreStripes = 24
+	}
+}
+
+// calCode builds the calibration workload: an RS(10, r, 2) instance
+// with a two-disk rebuild scenario — the repair shape the pipeline
+// exists for, dense enough that the kernels dominate.
+func calCode(r int) (codes.Code, codes.Scenario, error) {
+	c, err := codes.NewRS(10, r, 2)
+	if err != nil {
+		return nil, codes.Scenario{}, err
+	}
+	var faulty []int
+	for row := 0; row < c.NumRows(); row++ {
+		for _, d := range []int{0, 2} {
+			faulty = append(faulty, row*c.NumStrips()+d)
+		}
+	}
+	sc, err := codes.NewScenario(c, faulty)
+	if err != nil {
+		return nil, codes.Scenario{}, err
+	}
+	return c, sc, nil
+}
+
+// bestOf times f Iters times (plus a warm-up) and returns the best.
+func bestOf(iters int, f func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := -1; i < iters; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); i >= 0 && (best == 0 || d < best) {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Calibrate sweeps the knob space on this host and returns the winning
+// profile. It temporarily moves the process-wide kernel knobs during
+// the sweeps and restores them on return; use Apply (or Config.Auto)
+// to install the winners. Budget with the default Options: a few
+// hundred milliseconds.
+func Calibrate(o Options) (*Profile, error) {
+	o.defaults()
+	p := &Profile{
+		Version: Version,
+		Created: now().UTC().Format(time.RFC3339),
+		Host:    hostInfo(),
+	}
+
+	prevTile, prevFanout := kernel.TileSize(), kernel.FanoutMinBytes()
+	defer func() {
+		kernel.SetTileSize(prevTile)
+		kernel.SetFanoutMinBytes(prevFanout)
+	}()
+
+	if err := sweepTile(o, p); err != nil {
+		return nil, fmt.Errorf("tune: tile sweep: %w", err)
+	}
+	if err := sweepFanout(o, p); err != nil {
+		return nil, fmt.Errorf("tune: fan-out sweep: %w", err)
+	}
+	if err := sweepWorkers(o, p); err != nil {
+		return nil, fmt.Errorf("tune: worker sweep: %w", err)
+	}
+	if err := sweepDepth(o, p); err != nil {
+		return nil, fmt.Errorf("tune: depth sweep: %w", err)
+	}
+
+	// Pool size for many-stream serving: enough engines that store I/O
+	// overlaps across streams even when cores are scarce (engines
+	// waiting on a simulated or real store release their P), bounded so
+	// slab memory stays modest on very wide hosts.
+	p.PoolSize = runtime.NumCPU()
+	if p.PoolSize < 4 {
+		p.PoolSize = 4
+	}
+	if p.PoolSize > 16 {
+		p.PoolSize = 16
+	}
+	return p, nil
+}
+
+// sweepTile times a kernel-bound rebuild decode (large sectors, plan
+// prebuilt) at each tile-size candidate.
+func sweepTile(o Options, p *Profile) error {
+	c, sc, err := calCode(4)
+	if err != nil {
+		return err
+	}
+	st, err := stripe.New(c.NumStrips(), c.NumRows(), o.TileSector)
+	if err != nil {
+		return err
+	}
+	st.FillRandom(1)
+	plan, err := core.BuildPlan(c, sc, core.StrategyPPM)
+	if err != nil {
+		return err
+	}
+	dec := core.NewDecoder(c, core.WithThreads(1))
+	bytesPerDecode := float64(len(sc.Faulty)) * float64(o.TileSector)
+
+	var bestTile int
+	var bestD time.Duration
+	for _, tile := range o.Tiles {
+		kernel.SetTileSize(tile)
+		d, err := bestOf(o.Iters, func() error { return dec.DecodeWithPlan(plan, st) })
+		if err != nil {
+			return err
+		}
+		if bestD == 0 || d < bestD {
+			bestD, bestTile = d, tile
+		}
+	}
+	p.TileBytes = bestTile
+	p.Scores.TileMBs = bytesPerDecode / 1e6 / bestD.Seconds()
+	return nil
+}
+
+// sweepFanout times a large-region decode at each fan-out threshold.
+// On a single-core host the fan-out arm cannot overlap anything, so
+// the sweep is skipped and the default threshold recorded.
+func sweepFanout(o Options, p *Profile) error {
+	kernel.SetTileSize(p.TileBytes)
+	if runtime.NumCPU() == 1 {
+		p.FanoutMinBytes = kernel.FanoutMinBytes()
+		return nil
+	}
+	c, sc, err := calCode(1)
+	if err != nil {
+		return err
+	}
+	st, err := stripe.New(c.NumStrips(), c.NumRows(), o.FanoutSector)
+	if err != nil {
+		return err
+	}
+	st.FillRandom(2)
+	plan, err := core.BuildPlan(c, sc, core.StrategyPPM)
+	if err != nil {
+		return err
+	}
+	dec := core.NewDecoder(c, core.WithThreads(1))
+
+	var bestFanout int
+	var bestD time.Duration
+	for _, fo := range o.Fanouts {
+		kernel.SetFanoutMinBytes(fo)
+		d, err := bestOf(o.Iters, func() error { return dec.DecodeWithPlan(plan, st) })
+		if err != nil {
+			return err
+		}
+		if bestD == 0 || d < bestD {
+			bestD, bestFanout = d, fo
+		}
+	}
+	p.FanoutMinBytes = bestFanout
+	return nil
+}
+
+// sweepWorkers times an in-memory batch rebuild at each compute-shard
+// count — pure cross-stripe compute scaling, no I/O in the loop.
+func sweepWorkers(o Options, p *Profile) error {
+	kernel.SetTileSize(p.TileBytes)
+	kernel.SetFanoutMinBytes(p.FanoutMinBytes)
+	c, sc, err := calCode(4)
+	if err != nil {
+		return err
+	}
+	batch := make([]*stripe.Stripe, o.MemStripes)
+	for i := range batch {
+		st, err := stripe.New(c.NumStrips(), c.NumRows(), o.MemSector)
+		if err != nil {
+			return err
+		}
+		st.FillRandom(int64(i))
+		batch[i] = st
+	}
+	var src pipeline.Source = pipeline.SliceSource(batch)
+
+	candidates := workerCandidates(runtime.NumCPU())
+	var bestW int
+	var bestD time.Duration
+	for _, w := range candidates {
+		depth := 2 * w
+		if depth < pipeline.DefaultDepth {
+			depth = pipeline.DefaultDepth
+		}
+		e, err := pipeline.New(c, sc, 0, pipeline.Config{Depth: depth, Workers: w})
+		if err != nil {
+			return err
+		}
+		d, err := bestOf(o.Iters, func() error {
+			_, err := e.Run(src, pipeline.NopSink{})
+			return err
+		})
+		e.Close()
+		if err != nil {
+			return err
+		}
+		if bestD == 0 || d < bestD {
+			bestD, bestW = d, w
+		}
+	}
+	p.Workers = bestW
+	p.Scores.MemStripesS = float64(o.MemStripes) / bestD.Seconds()
+	return nil
+}
+
+// workerCandidates is 1, the powers of two below ncpu, and ncpu.
+func workerCandidates(ncpu int) []int {
+	var out []int
+	for w := 1; w < ncpu; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, ncpu)
+}
+
+// latSource / latSink model a seek-dominated strip store: a fixed
+// sleep per stripe on each edge, releasing the P exactly like blocking
+// I/O, so the depth sweep measures overlap rather than compute.
+type latSource struct {
+	stripes int
+	lat     time.Duration
+}
+
+func (s *latSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= s.stripes {
+		return nil, nil
+	}
+	time.Sleep(s.lat)
+	return slab, nil
+}
+
+type latSink struct{ lat time.Duration }
+
+func (k *latSink) Drain(int, *stripe.Stripe) error {
+	time.Sleep(k.lat)
+	return nil
+}
+
+// sweepDepth times a latency-modelled stream at each queue depth, with
+// the winning worker count fixed — depth is the I/O-overlap knob, and
+// the sweep measures it against a store model instead of inheriting
+// the compute sweep's preference for shallow queues.
+func sweepDepth(o Options, p *Profile) error {
+	c, sc, err := calCode(4)
+	if err != nil {
+		return err
+	}
+	candidates := depthCandidates(p.Workers)
+	var bestDepth int
+	var bestD time.Duration
+	for _, depth := range candidates {
+		e, err := pipeline.New(c, sc, o.MemSector, pipeline.Config{Depth: depth, Workers: p.Workers})
+		if err != nil {
+			return err
+		}
+		src := &latSource{stripes: o.StoreStripes, lat: o.StoreLatency}
+		sink := &latSink{lat: o.StoreLatency}
+		d, err := bestOf(o.Iters, func() error {
+			_, err := e.Run(src, sink)
+			return err
+		})
+		e.Close()
+		if err != nil {
+			return err
+		}
+		if bestD == 0 || d < bestD {
+			bestD, bestDepth = d, depth
+		}
+	}
+	p.Depth = bestDepth
+	p.Scores.StoreStripesS = float64(o.StoreStripes) / bestD.Seconds()
+	return nil
+}
+
+// depthCandidates is w, 2w, 4w clamped to [2, 32], plus the static
+// default, deduplicated and ascending (ties in the sweep go to the
+// earlier — smaller — depth).
+func depthCandidates(w int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(d int) {
+		if d < 2 {
+			d = 2
+		}
+		if d > 32 {
+			d = 32
+		}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	add(pipeline.DefaultDepth)
+	add(w)
+	add(2 * w)
+	add(4 * w)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

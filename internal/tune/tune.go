@@ -1,0 +1,199 @@
+// Package tune is the host calibration autotuner for the streaming
+// pipeline and the kernel's cache-blocking knobs.
+//
+// The repository exposes a small knob space that the defaults can only
+// guess at: the kernel tile size (L2 geometry), the worker fan-out
+// threshold (dispatch cost vs core count), and the pipeline's Depth
+// (I/O in flight) and Workers (compute shards). Following the
+// program-optimization view of XOR-EC tuning (Uezato, arXiv:2108.02692
+// — schedule/tile/parallelism choices are a searched space, not
+// constants), Calibrate measures each knob on the host with short
+// sweeps, picks the winners, and persists them as a Profile in a JSON
+// cache (os.UserCacheDir()/ppm, overridable with PPM_TUNE_DIR).
+//
+// Get loads the cached profile — or calibrates and saves one on first
+// use — and memoizes it for the process. Importing this package
+// registers it as the resolver behind pipeline.Config{Auto: true}, so
+// engines and pools pick the calibrated knobs up transparently; the
+// root ppm package imports it, and PPM_TUNE=off disables the whole
+// path.
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+)
+
+// Version is the profile schema version; profiles with another version
+// (or recorded on a host with a different core count) are recalibrated.
+const Version = 1
+
+// EnvDir overrides the profile cache directory; EnvDisable ("off" or
+// "0") disables autotuning entirely — Auto configs fall back to the
+// static defaults.
+const (
+	EnvDir     = "PPM_TUNE_DIR"
+	EnvDisable = "PPM_TUNE"
+)
+
+// Host identifies the machine a profile was calibrated on.
+type Host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOARCH     string `json:"goarch"`
+	// GFNI reports whether the GF2P8AFFINEQB kernels were active during
+	// calibration; a profile tuned with them is stale without them.
+	GFNI bool `json:"gfni"`
+}
+
+// Scores records the winning measurements, for inspection and for
+// judging whether a recalibration moved anything.
+type Scores struct {
+	// TileMBs is the kernel decode throughput at the winning tile size.
+	TileMBs float64 `json:"tile_mb_s"`
+	// MemStripesS is the in-memory pipeline throughput at the winning
+	// worker count.
+	MemStripesS float64 `json:"mem_stripes_s"`
+	// StoreStripesS is the latency-modelled pipeline throughput at the
+	// winning depth.
+	StoreStripesS float64 `json:"store_stripes_s"`
+}
+
+// Profile is one host's calibrated knob settings. Apply installs the
+// process-wide kernel knobs; the pipeline fields feed Config.Auto.
+type Profile struct {
+	Version int    `json:"version"`
+	Created string `json:"created"` // RFC3339
+	Host    Host   `json:"host"`
+
+	// TileBytes is the kernel cache-blocking tile size.
+	TileBytes int `json:"tile_bytes"`
+	// FanoutMinBytes is the region size at which one apply fans tiles
+	// across the worker pool.
+	FanoutMinBytes int `json:"fanout_min_bytes"`
+	// Depth is the pipeline queue depth (stripes in flight).
+	Depth int `json:"depth"`
+	// Workers is the pipeline compute shard count.
+	Workers int `json:"workers"`
+	// PoolSize is the engine count for many-stream serving pools.
+	PoolSize int `json:"pool_size"`
+
+	Scores Scores `json:"scores"`
+}
+
+// hostInfo snapshots the current host.
+func hostInfo() Host {
+	return Host{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GFNI:       gf.AffineKernels(),
+	}
+}
+
+// matchesHost reports whether the profile can serve this process: same
+// schema, same core count, same kernel flavour.
+func (p *Profile) matchesHost() bool {
+	h := hostInfo()
+	return p.Version == Version &&
+		p.Host.NumCPU == h.NumCPU &&
+		p.Host.GOARCH == h.GOARCH &&
+		p.Host.GFNI == h.GFNI &&
+		p.TileBytes > 0 && p.Depth > 0 && p.Workers > 0 && p.PoolSize > 0
+}
+
+// Apply installs the profile's process-wide kernel knobs (tile size and
+// fan-out threshold). The pipeline knobs travel through Config.Auto or
+// explicit Config fields; Apply does not touch them.
+func Apply(p *Profile) {
+	if p == nil {
+		return
+	}
+	kernel.SetTileSize(p.TileBytes)
+	kernel.SetFanoutMinBytes(p.FanoutMinBytes)
+}
+
+// Dir returns the profile cache directory: PPM_TUNE_DIR, or the user
+// cache dir's ppm subdirectory.
+func Dir() (string, error) {
+	if d := os.Getenv(EnvDir); d != "" {
+		return d, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("tune: no cache dir (set %s): %w", EnvDir, err)
+	}
+	return filepath.Join(base, "ppm"), nil
+}
+
+// Path returns the profile file path for this host.
+func Path() (string, error) {
+	dir, err := Dir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("tune-%s-%dcpu.json", runtime.GOARCH, runtime.NumCPU())), nil
+}
+
+// Load reads this host's persisted profile. A missing file returns
+// os.ErrNotExist; a profile from another schema version or host shape
+// is an error too, so callers fall through to Calibrate.
+func Load() (*Profile, error) {
+	path, err := Path()
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("tune: %s: %w", path, err)
+	}
+	if !p.matchesHost() {
+		return nil, fmt.Errorf("tune: %s was calibrated for a different host or schema", path)
+	}
+	return &p, nil
+}
+
+// Save persists the profile for this host, creating the cache dir as
+// needed. The write goes through a temp file + rename so a concurrent
+// reader never sees a torn profile.
+func Save(p *Profile) error {
+	path, err := Path()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// String summarises the profile on one line.
+func (p *Profile) String() string {
+	return fmt.Sprintf("tile=%dKiB fanout>=%dKiB depth=%d workers=%d pool=%d (ncpu=%d gfni=%v %s)",
+		p.TileBytes>>10, p.FanoutMinBytes>>10, p.Depth, p.Workers, p.PoolSize,
+		p.Host.NumCPU, p.Host.GFNI, p.Created)
+}
+
+// now is a test seam for Created stamps.
+var now = time.Now

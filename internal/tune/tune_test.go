@@ -1,0 +1,272 @@
+package tune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ppm/internal/kernel"
+	"ppm/internal/pipeline"
+)
+
+// withKernelKnobs restores the process-wide kernel knobs after a test
+// that Applies profiles.
+func withKernelKnobs(t *testing.T) {
+	t.Helper()
+	tile, fanout := kernel.TileSize(), kernel.FanoutMinBytes()
+	t.Cleanup(func() {
+		kernel.SetTileSize(tile)
+		kernel.SetFanoutMinBytes(fanout)
+	})
+}
+
+// testProfile is a deterministic profile valid for the current host.
+func testProfile() *Profile {
+	return &Profile{
+		Version:        Version,
+		Created:        "2026-08-08T00:00:00Z",
+		Host:           hostInfo(),
+		TileBytes:      16 << 10,
+		FanoutMinBytes: 1 << 20,
+		Depth:          7,
+		Workers:        1,
+		PoolSize:       3,
+		Scores:         Scores{TileMBs: 123.5, MemStripesS: 456.25, StoreStripesS: 78.125},
+	}
+}
+
+// TestProfileRoundTrip pins the persistence format: Save then Load
+// returns the identical profile, at the documented per-host path.
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(EnvDir, dir)
+
+	want := testProfile()
+	if err := Save(want); err != nil {
+		t.Fatal(err)
+	}
+	path, err := Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Errorf("profile path %s not under %s", path, dir)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	got, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the profile:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoadRejectsForeignProfile: a profile calibrated on a different
+// host shape (or schema) does not serve this process.
+func TestLoadRejectsForeignProfile(t *testing.T) {
+	t.Setenv(EnvDir, t.TempDir())
+	p := testProfile()
+	p.Host.NumCPU++ // a different machine
+	if err := Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(); err == nil {
+		t.Fatal("Load accepted a foreign-host profile")
+	}
+
+	p = testProfile()
+	p.Version = Version + 1
+	if err := Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(); err == nil {
+		t.Fatal("Load accepted a foreign-schema profile")
+	}
+}
+
+// TestAutoAppliesProfile: a persisted profile flows through
+// pipeline.Config{Auto: true} into both the kernel knobs and the
+// resolved engine/pool configuration.
+func TestAutoAppliesProfile(t *testing.T) {
+	withKernelKnobs(t)
+	t.Setenv(EnvDir, t.TempDir())
+	want := testProfile()
+	if err := Save(want); err != nil {
+		t.Fatal(err)
+	}
+	resetForTest()
+	defer resetForTest()
+
+	c, sc, err := calCode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pipeline.New(c, sc, 64, pipeline.Config{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Config()
+	e.Close()
+	if got.Depth != want.Depth || got.Workers != want.Workers {
+		t.Errorf("auto engine resolved Depth=%d Workers=%d, want %d/%d",
+			got.Depth, got.Workers, want.Depth, want.Workers)
+	}
+	if kernel.TileSize() != want.TileBytes {
+		t.Errorf("tile size %d after Auto, want %d", kernel.TileSize(), want.TileBytes)
+	}
+	if kernel.FanoutMinBytes() != want.FanoutMinBytes {
+		t.Errorf("fan-out threshold %d after Auto, want %d", kernel.FanoutMinBytes(), want.FanoutMinBytes)
+	}
+
+	// Pool size 0 under Auto selects the profile's pool size; explicit
+	// config fields always beat the profile.
+	p, err := pipeline.NewPool(c, sc, 64, 0, pipeline.Config{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != want.PoolSize {
+		t.Errorf("auto pool size %d, want %d", p.Size(), want.PoolSize)
+	}
+	p.Close()
+
+	e2, err := pipeline.New(c, sc, 64, pipeline.Config{Auto: true, Depth: 12, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := e2.Config()
+	e2.Close()
+	if got2.Depth != 12 || got2.Workers != 2 {
+		t.Errorf("explicit fields lost to the profile: Depth=%d Workers=%d", got2.Depth, got2.Workers)
+	}
+}
+
+// TestAutoDisabled: PPM_TUNE=off bypasses loading and calibration —
+// Auto configs resolve to the static defaults.
+func TestAutoDisabled(t *testing.T) {
+	t.Setenv(EnvDir, t.TempDir())
+	t.Setenv(EnvDisable, "off")
+	resetForTest()
+	defer resetForTest()
+
+	if p, err := Get(); p != nil || err != nil {
+		t.Fatalf("disabled Get = (%v, %v), want (nil, nil)", p, err)
+	}
+	c, sc, err := calCode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pipeline.New(c, sc, 64, pipeline.Config{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Config()
+	e.Close()
+	def, err := pipeline.New(c, sc, 64, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := def.Config()
+	def.Close()
+	if got.Depth != want.Depth || got.Workers != want.Workers {
+		t.Errorf("disabled Auto resolved Depth=%d Workers=%d, static default is %d/%d",
+			got.Depth, got.Workers, want.Depth, want.Workers)
+	}
+}
+
+// TestGetCalibratesAndPersists: first Get on a fresh cache calibrates
+// and writes the profile; later processes (simulated by dropping the
+// memo) load the persisted file rather than recalibrating.
+func TestGetCalibratesAndPersists(t *testing.T) {
+	withKernelKnobs(t)
+	dir := t.TempDir()
+	t.Setenv(EnvDir, dir)
+	t.Setenv(EnvDisable, "")
+	resetForTest()
+	defer resetForTest()
+
+	p, err := Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || !p.matchesHost() {
+		t.Fatalf("Get calibrated an invalid profile: %+v", p)
+	}
+	path, err := Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("Get did not persist the profile: %v", err)
+	}
+
+	// Mark the persisted file distinctively; a second Get in a "new
+	// process" must return the marked file, not a fresh calibration.
+	p.Depth = 31
+	if err := Save(p); err != nil {
+		t.Fatal(err)
+	}
+	resetForTest()
+	p2, err := Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Depth != 31 {
+		t.Errorf("second Get recalibrated (Depth=%d) instead of loading the persisted profile", p2.Depth)
+	}
+}
+
+// TestCalibrateDeterministicShape: with a pinned clock and a reduced
+// sweep, Calibrate fills every field the pipeline needs, restores the
+// kernel knobs it swept, and stamps the injected time.
+func TestCalibrateDeterministicShape(t *testing.T) {
+	withKernelKnobs(t)
+	prevNow := now
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now = func() time.Time { return fixed }
+	defer func() { now = prevNow }()
+
+	tileBefore, fanoutBefore := kernel.TileSize(), kernel.FanoutMinBytes()
+	p, err := Calibrate(Options{
+		Tiles:        []int{16 << 10, 32 << 10},
+		TileSector:   32 << 10,
+		FanoutSector: 256 << 10,
+		Iters:        1,
+		MemStripes:   4,
+		MemSector:    2 << 10,
+		StoreLatency: 100 * time.Microsecond,
+		StoreStripes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Created != "2026-08-08T12:00:00Z" {
+		t.Errorf("Created = %q, want the injected clock", p.Created)
+	}
+	if !p.matchesHost() {
+		t.Errorf("calibrated profile does not match its own host: %+v", p)
+	}
+	if p.Scores.TileMBs <= 0 || p.Scores.MemStripesS <= 0 || p.Scores.StoreStripesS <= 0 {
+		t.Errorf("scores not recorded: %+v", p.Scores)
+	}
+	if kernel.TileSize() != tileBefore || kernel.FanoutMinBytes() != fanoutBefore {
+		t.Errorf("Calibrate leaked kernel knobs: tile %d fanout %d", kernel.TileSize(), kernel.FanoutMinBytes())
+	}
+	// The JSON form round-trips losslessly (the persistence contract).
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, p) {
+		t.Errorf("JSON round trip changed the profile")
+	}
+}
