@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr chaos check clean
 
 all: check
 
@@ -89,6 +89,16 @@ fuzz-smoke:
 # Go/assembly boundary.
 checkptr:
 	$(GO) test -gcflags=all=-d=checkptr ./internal/gf ./internal/kernel
+
+# Fault storm: the end-to-end ppmfile chaos tests (missing disk +
+# silent flip + transient errors + a permanently hung strip, recovered
+# byte-identical) plus the harness chaos experiment over SD/LRC/RS.
+# Every schedule spec is printed, so a failing run replays from the
+# log; CHAOS_SEED varies the storm deterministically.
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) test ./cmd/ppmfile -run 'TestChaosDecodeStorm|TestScrubRebuildsMissingDisk|TestDecodeTornWriteCaught' -v
+	$(GO) run ./cmd/ppmbench -exp chaos -seed $(CHAOS_SEED)
 
 check: build fmt-check vet lint test race
 

@@ -7,6 +7,7 @@ import (
 	"ppm/internal/codes"
 	"ppm/internal/core"
 	"ppm/internal/decode"
+	"ppm/internal/fault"
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
 	"ppm/internal/pipeline"
@@ -303,6 +304,37 @@ var StopStream = pipeline.Stop
 // completion — plus the stripes drained. The dominant counter names the
 // bottleneck stage.
 type StageStats = pipeline.StageStats
+
+// StreamRetry configures bounded retries with jittered exponential
+// backoff and optional per-attempt deadlines on a stream engine's fill
+// and drain edges (StreamConfig.Retry). The zero value disables
+// retries; a configured policy keeps the engine's 0 allocs/op steady
+// state. Retry counts surface in StageStats. A deadline expiry is not
+// retried at this level — the abandoned attempt may still touch the
+// in-flight slab — so it surfaces as ErrStreamOpTimeout for the caller
+// to restart with fresh buffers.
+type StreamRetry = pipeline.RetryPolicy
+
+// ErrStreamOpTimeout is wrapped into the error a stream run returns
+// when a fill or drain attempt outlives StreamRetry.OpTimeout.
+var ErrStreamOpTimeout = pipeline.ErrOpTimeout
+
+// ErrEnginePoisoned is wrapped into run errors after a compute shard
+// has died; a StreamPool replaces such engines at checkout instead of
+// handing them out.
+var ErrEnginePoisoned = pipeline.ErrEnginePoisoned
+
+// SectorChecksums returns one CRC-32C (Castagnoli) checksum per sector
+// of the stripe, in global sector order — the integrity row an archive
+// records at encode time to catch silent corruption on read-back.
+func SectorChecksums(st *Stripe) []uint32 { return fault.SectorChecksums(st) }
+
+// VerifyStripeChecksums compares a stripe against a recorded checksum
+// row and returns the global indices of corrupt sectors (nil when
+// clean). Demote the returned indices to erasures and decode to heal.
+func VerifyStripeChecksums(st *Stripe, sums []uint32) []int {
+	return fault.VerifyStripe(st, sums, nil)
+}
 
 // StreamPool is a fixed set of stream engines serving many concurrent
 // streams for one code + scenario pair: each Run checks an engine out,

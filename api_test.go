@@ -186,3 +186,61 @@ func TestNewScenarioAPI(t *testing.T) {
 		t.Fatal("two-sector scenario should be decodable")
 	}
 }
+
+// TestChecksumAPIDetectsAndHeals exercises the public integrity surface:
+// record checksums, flip a bit, locate the damage, heal it by decode.
+func TestChecksumAPIDetectsAndHeals(t *testing.T) {
+	code, err := NewSD(6, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StripeForCode(code, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(3, DataPositions(code))
+	dec := NewDecoder(code)
+	if err := dec.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	sums := SectorChecksums(st)
+	if got := VerifyStripeChecksums(st, sums); got != nil {
+		t.Fatalf("clean stripe reported corrupt sectors %v", got)
+	}
+	want := st.Clone()
+
+	st.FlipBit(7, 11, 2)
+	corrupt := VerifyStripeChecksums(st, sums)
+	if len(corrupt) != 1 || corrupt[0] != 7 {
+		t.Fatalf("corrupt sectors = %v, want [7]", corrupt)
+	}
+	st.Erase(corrupt)
+	if err := dec.Decode(st, Scenario{Faulty: corrupt}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("healed stripe differs from the original")
+	}
+}
+
+// TestStreamRetryAPI pins the retry surface: a configured StreamRetry
+// on a StreamConfig survives a transient source fault, and the sentinel
+// errors are exported and distinct.
+func TestStreamRetryAPI(t *testing.T) {
+	if ErrStreamOpTimeout == nil || ErrEnginePoisoned == nil {
+		t.Fatal("sentinel errors must be non-nil")
+	}
+	cfg := StreamConfig{Depth: 2, Retry: StreamRetry{MaxAttempts: 3}}
+	code, err := NewSD(6, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewStreamEngine(code, EncodingScenario(code), 512, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.StageStats().FillRetries; got != 0 {
+		t.Fatalf("fresh engine FillRetries = %d, want 0", got)
+	}
+}

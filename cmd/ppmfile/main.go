@@ -12,10 +12,16 @@
 //	ppmfile scrub -dir shards -repair          # locate & fix silent corruption
 //
 // Each disk j becomes one file disk_<j>.strip holding its sectors in
-// stripe order; manifest.json records the geometry. Encode and decode
-// stream the file through the multi-stripe pipeline: one compiled plan
-// serves every stripe and -depth stripes are in flight, so strip-file
-// I/O overlaps the GF compute.
+// stripe order; manifest.json records the geometry plus per-sector
+// CRC-32C checksums. Encode and decode stream the file through the
+// multi-stripe pipeline: one compiled plan serves every stripe and
+// -depth stripes are in flight, so strip-file I/O overlaps the GF
+// compute. Decode reads through a healer — bounded retries for
+// transient strip faults, checksum verification, and demotion of
+// unreadable or corrupt strips to erasures — and scrub is the
+// rate-limitable background version of the same loop, rebuilding
+// damage (missing disks included) in place with -repair. The -faults
+// flag injects a deterministic fault schedule for testing.
 package main
 
 import (
@@ -49,8 +55,15 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ppmfile encode -in FILE -dir DIR [-n 8 -r 16 -m 2 -s 2 -sector 4096 -depth 4]
-  ppmfile decode -dir DIR -out FILE [-depth 4 -threads 1]
+  ppmfile decode -dir DIR -out FILE [-depth 4 -threads 1 -retries 3 -op-timeout 0]
   ppmfile verify -dir DIR
-  ppmfile scrub  -dir DIR [-repair]`)
+  ppmfile scrub  -dir DIR [-repair -rate MiB/s -retries 3 -op-timeout 0]
+
+decode and scrub retry transient strip faults (-retries attempts, each
+bounded by -op-timeout), verify the manifest's CRC-32C sector checksums,
+and demote unreadable or corrupt strips to erasures for re-decode;
+scrub -repair additionally rebuilds damaged or missing strip files in
+place. The -faults flag (all commands but verify) injects a
+deterministic fault schedule for chaos testing.`)
 	os.Exit(2)
 }

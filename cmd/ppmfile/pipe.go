@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"ppm/internal/fault"
+	"ppm/internal/pipeline"
 	"ppm/internal/stripe"
 )
 
@@ -48,15 +51,37 @@ func (s *payloadSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, erro
 	return slab, nil
 }
 
-// storeSink writes encoded stripes to the strip files.
-type storeSink struct{ ds *diskStore }
+// storeSink writes encoded stripes strip by strip through a fault.Store
+// (the raw diskStore, or a fault-injecting wrapper around it), recording
+// each stripe's per-sector checksum row for the manifest as it goes.
+// Drain runs strictly in stripe order, so sums[idx] lines up by append.
+type storeSink struct {
+	store fault.Store
+	mf    manifest
+	buf   []byte
+	sums  [][]uint32
+}
 
 func (k *storeSink) Drain(idx int, st *stripe.Stripe) error {
-	return k.ds.writeStripe(idx, st)
+	if k.buf == nil {
+		k.buf = make([]byte, k.store.StripBytes())
+	}
+	sector := k.mf.SectorSize
+	for j := 0; j < k.mf.N; j++ {
+		for i := 0; i < k.mf.R; i++ {
+			copy(k.buf[i*sector:(i+1)*sector], st.SectorAt(i, j))
+		}
+		if err := k.store.WriteStrip(idx, j, k.buf); err != nil {
+			return err
+		}
+	}
+	k.sums = append(k.sums, fault.SectorChecksums(st))
+	return nil
 }
 
 // storeSource reads stripes back from the strip files (missing disks'
-// sectors stay zeroed for the decoder to recover).
+// sectors stay zeroed for the decoder to recover). It is the raw,
+// non-healing read path; decode uses healSource instead.
 type storeSource struct {
 	ds      *diskStore
 	stripes int
@@ -68,6 +93,34 @@ func (s *storeSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error)
 	}
 	if err := s.ds.readStripe(idx, slab); err != nil {
 		return nil, err
+	}
+	return slab, nil
+}
+
+// healSource feeds the decode pipeline through a fault.Healer: each
+// stripe is read with bounded retries, checksum-verified, and damage
+// beyond the baseline (missing disks) is demoted to an erasure and
+// re-decoded before the stripe enters the pipeline. Detected corruption
+// is forwarded to the engine's StageStats corruption counter.
+type healSource struct {
+	h       *fault.Healer
+	stripes int
+	eng     *pipeline.Engine
+	ctx     context.Context
+	seen    int64 // corruption events already forwarded to eng
+}
+
+func (s *healSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= s.stripes {
+		return nil, nil
+	}
+	if err := s.h.ReadStripe(s.ctx, idx, slab); err != nil {
+		return nil, err
+	}
+	if s.eng != nil {
+		now := s.h.Stats.CorruptSectors + s.h.Stats.DemotedStrips
+		s.eng.RecordCorruption(int(now - s.seen))
+		s.seen = now
 	}
 	return slab, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func writeInput(t *testing.T, dir string, size int) (string, []byte) {
@@ -332,5 +333,150 @@ func TestEncodeEmptyFile(t *testing.T) {
 	}
 	if len(restored) != 0 {
 		t.Fatalf("restored %d bytes from an empty input", len(restored))
+	}
+}
+
+// flipDiskByte flips one byte of a strip file in place: silent on-disk
+// corruption for the checksum layer to catch.
+func flipDiskByte(t *testing.T, shards string, disk int, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(shards, diskFileName(disk)), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x5A
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosDecodeStorm is the end-to-end fault storm: an archive with a
+// deleted disk, silent on-disk corruption, and an injected schedule of
+// transient read errors, a latency spike and a permanently hung strip
+// must still decode byte-identically — the transient errors retried
+// away, the hung strip demoted at its op deadline and re-decoded, and
+// the corruption caught by checksum. The whole storm must resolve
+// within the configured deadlines, not wall-clock hours.
+func TestChaosDecodeStorm(t *testing.T) {
+	work := t.TempDir()
+	// n=6 r=4 m=2 s=1, 512-byte sectors: 15 data sectors (7680 B)/stripe.
+	size := 7680*8 - 100
+	in, data := writeInput(t, work, size)
+	shards := filepath.Join(work, "shards")
+	out := filepath.Join(work, "restored.bin")
+	if err := runEncode([]string{"-in", in, "-dir", shards,
+		"-n", "6", "-r", "4", "-m", "2", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// Damage: disk 1 gone entirely (baseline erasure), a silent bit flip
+	// on disk 2 inside stripe 5 (on-disk, caught by checksum), plus the
+	// injected schedule below: two transient read errors on stripe 2
+	// disk 0, a permanent hang on stripe 3 disk 3 (demoted at the
+	// deadline), a latency spike, and an in-flight bit flip on stripe 4
+	// disk 2.
+	if err := os.Remove(filepath.Join(shards, diskFileName(1))); err != nil {
+		t.Fatal(err)
+	}
+	stripBytes := int64(4 * 512)
+	flipDiskByte(t, shards, 2, 5*stripBytes+123)
+
+	start := time.Now()
+	if err := runDecode([]string{"-dir", shards, "-out", out,
+		"-retries", "4", "-op-timeout", "150ms",
+		"-faults", "seed=7,read@2.0x2,hang@3.3x-1/1h,lat@6.4/5ms,flip@4.2"}); err != nil {
+		t.Fatalf("chaos decode: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("chaos decode took %v; deadlines should bound the storm", elapsed)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("payload not byte-identical after the fault storm")
+	}
+	// Decode repaired the missing disk; the directory must verify clean
+	// (checksums and parity) — the in-flight faults never hit the disk.
+	if err := runVerify([]string{"-dir", shards}); err == nil {
+		t.Fatal("verify should still flag the on-disk flip on disk 2 (decode repairs erasures, not silent corruption)")
+	}
+	// The self-healing scrub fixes the remaining silent corruption.
+	if err := runScrub([]string{"-dir", shards, "-repair"}); err != nil {
+		t.Fatalf("scrub -repair: %v", err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("verify after scrub: %v", err)
+	}
+}
+
+// TestScrubRebuildsMissingDisk: the checksum-era scrub is a full
+// self-healing pass — with a disk deleted and a silent flip on another,
+// scrub -repair rebuilds both in place and the archive then verifies
+// clean and round-trips.
+func TestScrubRebuildsMissingDisk(t *testing.T) {
+	work := t.TempDir()
+	in, data := writeInput(t, work, 40_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards,
+		"-n", "6", "-r", "4", "-m", "2", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(shards, diskFileName(4))); err != nil {
+		t.Fatal(err)
+	}
+	flipDiskByte(t, shards, 0, 300)
+
+	if err := runScrub([]string{"-dir", shards, "-repair", "-rate", "64"}); err != nil {
+		t.Fatalf("scrub -repair: %v", err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("verify after rebuild: %v", err)
+	}
+	out := filepath.Join(work, "restored.bin")
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("payload changed after scrub rebuild")
+	}
+}
+
+// TestDecodeTornWriteCaught: a torn write at encode time persists a
+// half-garbage strip while reporting success — the checksummed decode
+// must catch it and still restore the exact payload.
+func TestDecodeTornWriteCaught(t *testing.T) {
+	work := t.TempDir()
+	in, data := writeInput(t, work, 30_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards,
+		"-n", "6", "-r", "4", "-m", "2", "-s", "1", "-sector", "512",
+		"-faults", "seed=3,torn@1.5"}); err != nil {
+		t.Fatalf("encode with torn write: %v", err)
+	}
+	// The damage is silent: verify flags it, decode heals around it.
+	if err := runVerify([]string{"-dir", shards}); err == nil {
+		t.Fatal("verify missed the torn write")
+	}
+	out := filepath.Join(work, "restored.bin")
+	if err := runDecode([]string{"-dir", shards, "-out", out}); err != nil {
+		t.Fatalf("decode around torn write: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, data) {
+		t.Fatal("payload not byte-identical after torn write")
 	}
 }

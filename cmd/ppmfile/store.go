@@ -7,9 +7,14 @@ import (
 	"path/filepath"
 
 	"ppm/internal/codes"
+	"ppm/internal/fault"
 	"ppm/internal/gf"
 	"ppm/internal/stripe"
 )
+
+// checksumAlgo is the only checksum algorithm ppmfile writes; the
+// manifest field exists so a future algorithm can be versioned in.
+const checksumAlgo = "crc32c"
 
 // manifest describes an encoded shard directory.
 type manifest struct {
@@ -23,6 +28,14 @@ type manifest struct {
 	Stripes    int      `json:"stripes"`
 	FileSize   int64    `json:"file_size"`
 	FileName   string   `json:"file_name"`
+	// ChecksumAlgo names the per-sector checksum algorithm ("crc32c");
+	// empty on pre-checksum archives, which decode and scrub still
+	// accept (they just cannot detect silent corruption by checksum).
+	ChecksumAlgo string `json:"checksum_algo,omitempty"`
+	// Checksums[idx] holds stripe idx's per-sector checksums in global
+	// (row-major) sector order — the reference for degraded reads and
+	// the self-healing scrub.
+	Checksums [][]uint32 `json:"checksums,omitempty"`
 }
 
 const manifestName = "manifest.json"
@@ -58,6 +71,21 @@ func readManifest(dir string) (manifest, error) {
 	if len(mf.Coeffs) != mf.M+mf.S {
 		return manifest{}, fmt.Errorf("manifest has %d coding coefficients, want m+s = %d",
 			len(mf.Coeffs), mf.M+mf.S)
+	}
+	if mf.ChecksumAlgo != "" && mf.ChecksumAlgo != checksumAlgo {
+		return manifest{}, fmt.Errorf("manifest uses unsupported checksum algorithm %q", mf.ChecksumAlgo)
+	}
+	if len(mf.Checksums) > 0 {
+		if len(mf.Checksums) != mf.Stripes {
+			return manifest{}, fmt.Errorf("manifest has checksum rows for %d stripes, want %d",
+				len(mf.Checksums), mf.Stripes)
+		}
+		for idx, row := range mf.Checksums {
+			if len(row) != mf.N*mf.R {
+				return manifest{}, fmt.Errorf("stripe %d checksum row has %d entries, want n*r = %d",
+					idx, len(row), mf.N*mf.R)
+			}
+		}
 	}
 	return mf, nil
 }
@@ -124,39 +152,103 @@ func (ds *diskStore) missingDisks() []int {
 	return missing
 }
 
+// StripError wraps a strip-level I/O failure with the disk and stripe
+// it hit, plus the operation — the context the retry layer and the
+// degraded-read log classify and report on. Its Transient method
+// forwards the wrapped error's classification (fault.IsTransient), so
+// an injected transient read error stays retryable through the wrap
+// while a missing disk stays permanent.
+type StripError struct {
+	Disk   int
+	Stripe int
+	Op     string // "read" or "write"
+	Err    error
+}
+
+func (e *StripError) Error() string {
+	return fmt.Sprintf("disk %d stripe %d: %s: %v", e.Disk, e.Stripe, e.Op, e.Err)
+}
+
+func (e *StripError) Unwrap() error { return e.Err }
+
+// Transient reports whether the underlying failure is worth retrying.
+func (e *StripError) Transient() bool { return fault.IsTransient(e.Err) }
+
+// errDiskMissing is the permanent failure a read against an unopened
+// disk surfaces: retrying cannot help, only erasure demotion can.
+var errDiskMissing = fmt.Errorf("disk missing")
+
 // stripBytes is the per-stripe byte count of one disk's strip.
 func (ds *diskStore) stripBytes() int { return ds.mf.R * ds.mf.SectorSize }
+
+// Disks, StripBytes, ReadStrip and WriteStrip implement fault.Store, so
+// a diskStore plugs straight into the fault layer: fault.NewFaultyStore
+// wraps it for injection and fault.Healer degraded-reads through it.
+
+// Disks returns the disk (strip-per-stripe) count.
+func (ds *diskStore) Disks() int { return ds.mf.N }
+
+// StripBytes returns the per-stripe strip size in bytes.
+func (ds *diskStore) StripBytes() int { return ds.stripBytes() }
+
+// ReadStrip reads stripe idx's strip on one disk into dst.
+func (ds *diskStore) ReadStrip(idx, disk int, dst []byte) error {
+	if disk < 0 || disk >= len(ds.fh) {
+		return &StripError{Disk: disk, Stripe: idx, Op: "read", Err: fmt.Errorf("disk out of range")}
+	}
+	f := ds.fh[disk]
+	if f == nil {
+		return &StripError{Disk: disk, Stripe: idx, Op: "read", Err: errDiskMissing}
+	}
+	if _, err := f.ReadAt(dst[:ds.stripBytes()], int64(idx)*int64(ds.stripBytes())); err != nil {
+		return &StripError{Disk: disk, Stripe: idx, Op: "read", Err: err}
+	}
+	return nil
+}
+
+// WriteStrip writes stripe idx's strip on one disk from src.
+func (ds *diskStore) WriteStrip(idx, disk int, src []byte) error {
+	if disk < 0 || disk >= len(ds.fh) {
+		return &StripError{Disk: disk, Stripe: idx, Op: "write", Err: fmt.Errorf("disk out of range")}
+	}
+	f := ds.fh[disk]
+	if f == nil {
+		return &StripError{Disk: disk, Stripe: idx, Op: "write", Err: errDiskMissing}
+	}
+	if _, err := f.WriteAt(src[:ds.stripBytes()], int64(idx)*int64(ds.stripBytes())); err != nil {
+		return &StripError{Disk: disk, Stripe: idx, Op: "write", Err: err}
+	}
+	return nil
+}
 
 // readStripe loads stripe number idx into st; missing disks' sectors
 // are left zeroed.
 func (ds *diskStore) readStripe(idx int, st *stripe.Stripe) error {
-	buf := ds.buf
 	for j, f := range ds.fh {
 		if f == nil {
 			continue
 		}
-		if _, err := f.ReadAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
-			return fmt.Errorf("disk %d stripe %d: %w", j, idx, err)
+		if err := ds.ReadStrip(idx, j, ds.buf); err != nil {
+			return err
 		}
 		for i := 0; i < ds.mf.R; i++ {
-			copy(st.SectorAt(i, j), buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize])
+			copy(st.SectorAt(i, j), ds.buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize])
 		}
 	}
 	return nil
 }
 
-// writeStripe appends stripe idx from st to every open strip file.
+// writeStripe writes stripe idx from st to every open strip file.
 func (ds *diskStore) writeStripe(idx int, st *stripe.Stripe) error {
-	buf := ds.buf
 	for j, f := range ds.fh {
 		if f == nil {
 			continue
 		}
 		for i := 0; i < ds.mf.R; i++ {
-			copy(buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize], st.SectorAt(i, j))
+			copy(ds.buf[i*ds.mf.SectorSize:(i+1)*ds.mf.SectorSize], st.SectorAt(i, j))
 		}
-		if _, err := f.WriteAt(buf, int64(idx)*int64(ds.stripBytes())); err != nil {
-			return fmt.Errorf("disk %d stripe %d: %w", j, idx, err)
+		if err := ds.WriteStrip(idx, j, ds.buf); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+)
+
+// Transient vs permanent classification. A transient error is worth
+// retrying (a flaky read, a momentary timeout); a permanent one is not
+// (a missing file, a failed decode). The contract is structural so any
+// package can participate without importing this one: an error that
+// implements `Transient() bool` classifies itself, and wrapped errors
+// are searched with errors.As.
+
+// transienter is the structural self-classification interface.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is worth retrying: it (or an error
+// it wraps) classifies itself transient via a Transient() bool method,
+// or is one of the classically-transient syscall errnos. Context
+// cancellation and deadline expiry are never transient — the caller's
+// clock, not the operation, ended those.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.EBUSY, syscall.ETIMEDOUT} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transient wraps err so IsTransient reports true for it (and for
+// anything that wraps the result). Wrapping nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// InjectedError is the error a fired fault event surfaces. It
+// classifies itself: injected read/write errors are transient (they
+// clear when the event's count exhausts), torn writes are permanent
+// (the data is already inconsistent; retrying the same write would
+// tear again).
+type InjectedError struct {
+	Event Event
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s", e.Event)
+}
+
+func (e *InjectedError) Transient() bool {
+	switch e.Event.Kind {
+	case ReadError, WriteError:
+		return true
+	}
+	return false
+}
+
+// ErrOpTimeout is wrapped by per-attempt deadline expiries from Do. It
+// classifies itself transient: a hung op may be a transient stall, and
+// a permanently hung one exhausts the attempt budget and surfaces as a
+// deadline failure instead of hanging the run.
+var ErrOpTimeout = Transient(errors.New("fault: op deadline exceeded"))
+
+// OpError attaches retry-relevant context (which op, how many attempts
+// were spent, whether the failure was classified transient) to the
+// final error Do returns.
+type OpError struct {
+	Op       string
+	Attempts int
+	Err      error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("%s: %v (after %d attempt(s))", e.Op, e.Err, e.Attempts)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/stripe"
+)
+
+// Checksummed degraded reads. Erasure decode only protects against
+// *declared* losses: a sector that reads back wrong bytes without an
+// I/O error flows straight through the decoder and "verifies" as
+// garbage. Per-sector CRC-32C checksums recorded at encode time close
+// the gap — a mismatching sector is *demoted to an erasure* and
+// re-decoded from the survivors, turning silent corruption into the
+// erasure problem the code already solves.
+
+// castagnoli is the CRC-32C table (the polynomial storage systems use;
+// SSE4.2 hosts compute it in hardware via the stdlib).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumSector returns the CRC-32C of one sector.
+func ChecksumSector(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// SectorChecksums returns the CRC-32C of every sector of a stripe, in
+// global (row-major) sector order — the per-stripe checksum row the
+// ppmfile manifest records.
+func SectorChecksums(st *stripe.Stripe) []uint32 {
+	sums := make([]uint32, st.TotalSectors())
+	for i := range sums {
+		sums[i] = ChecksumSector(st.Sector(i))
+	}
+	return sums
+}
+
+// VerifyStripe compares every sector of st against the expected
+// checksum row and returns the global indices that mismatch (nil when
+// clean). skip, when non-nil, marks sectors excluded from verification
+// (already-declared erasures whose buffers hold no data).
+func VerifyStripe(st *stripe.Stripe, sums []uint32, skip map[int]bool) []int {
+	var bad []int
+	for i := 0; i < st.TotalSectors() && i < len(sums); i++ {
+		if skip[i] {
+			continue
+		}
+		if ChecksumSector(st.Sector(i)) != sums[i] {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// HealStats counts what a Healer saw and did across stripes.
+type HealStats struct {
+	// Stripes is the number of stripes read.
+	Stripes int64 `json:"stripes"`
+	// Retries is the number of extra read attempts transient faults
+	// cost.
+	Retries int64 `json:"retries"`
+	// DemotedStrips counts strips demoted to erasures after exhausting
+	// their read attempts (I/O errors, hangs past the deadline).
+	DemotedStrips int64 `json:"demoted_strips"`
+	// CorruptSectors counts sectors whose checksum exposed silent
+	// corruption.
+	CorruptSectors int64 `json:"corrupt_sectors"`
+	// Healed counts stripes the healer re-decoded beyond the baseline
+	// scenario.
+	Healed int64 `json:"healed"`
+}
+
+// Add accumulates o into s.
+func (s *HealStats) Add(o HealStats) {
+	s.Stripes += o.Stripes
+	s.Retries += o.Retries
+	s.DemotedStrips += o.DemotedStrips
+	s.CorruptSectors += o.CorruptSectors
+	s.Healed += o.Healed
+}
+
+// Healer performs checksummed degraded stripe reads over a Store: each
+// strip is read under the retry policy, surviving sectors are verified
+// against the recorded checksums, and any strip or sector that cannot
+// be read clean is demoted to an erasure and recovered with a decode
+// over the survivors. A Healer is not safe for concurrent use; build
+// one per goroutine (they share nothing but the store).
+type Healer struct {
+	// Code is the stripe's erasure code.
+	Code codes.Code
+	// Store supplies the strips.
+	Store Store
+	// Sums[idx] is stripe idx's expected per-sector checksum row; a nil
+	// Sums (or short row) skips checksum verification for the missing
+	// entries — pre-checksum archives still get retry and erasure
+	// demotion, just not silent-corruption detection.
+	Sums [][]uint32
+	// Baseline lists faulty sectors a downstream consumer already
+	// repairs (ppmfile's pipeline decodes the missing disks with its
+	// once-compiled plan). The healer re-decodes a stripe itself only
+	// when damage *beyond* the baseline appears; baseline sectors are
+	// zeroed and left to the consumer.
+	Baseline codes.Scenario
+	// Policy is the per-strip read retry policy.
+	Policy Policy
+	// Logf, when non-nil, receives one line per demotion/heal — the
+	// degraded-read log.
+	Logf func(format string, args ...any)
+
+	// Stats accumulates across ReadStripe calls.
+	Stats HealStats
+
+	dec     *core.Decoder
+	baseSet map[int]bool
+	buf     []byte
+}
+
+// init lazily builds the decoder (plan-cached: repeated demotion
+// patterns reuse their compiled plans) and scratch.
+func (h *Healer) init() {
+	if h.dec == nil {
+		h.dec = core.NewDecoder(h.Code)
+		h.baseSet = h.Baseline.FaultySet()
+		h.buf = make([]byte, h.Store.StripBytes())
+	}
+}
+
+func (h *Healer) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}
+
+// ReadStripe fills st with stripe idx, degraded-reading around
+// transient faults, hung strips and silent corruption. On return the
+// stripe holds correct bytes everywhere except the Baseline sectors
+// (left zeroed for the downstream decode) — unless the damage exceeded
+// the code's tolerance, which is the returned error.
+func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) error {
+	h.init()
+	h.Stats.Stripes++
+	n, r := st.N(), st.R()
+	sector := st.SectorSize()
+	demoted := make(map[int]bool)
+
+	for j := 0; j < n; j++ {
+		baseMissing := true
+		for i := 0; i < r; i++ {
+			if !h.baseSet[i*n+j] {
+				baseMissing = false
+				break
+			}
+		}
+		if baseMissing {
+			// The whole strip is already declared faulty; zero it for
+			// the downstream decode and skip the read.
+			for i := 0; i < r; i++ {
+				clear(st.SectorAt(i, j))
+			}
+			continue
+		}
+		// Under an op deadline each attempt gets a private buffer: an
+		// abandoned hung read finishing late must not scribble scratch
+		// the healer is already reusing for the next strip.
+		buf, attempts, err := DoVal(ctx, fmt.Sprintf("read stripe %d disk %d", idx, j), h.Policy,
+			func() ([]byte, error) {
+				b := h.buf
+				if h.Policy.OpTimeout > 0 {
+					b = make([]byte, h.Store.StripBytes())
+				}
+				if err := h.Store.ReadStrip(idx, j, b); err != nil {
+					return nil, err
+				}
+				return b, nil
+			})
+		h.Stats.Retries += int64(attempts - 1)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			h.Stats.DemotedStrips++
+			h.logf("stripe %d disk %d: demoting strip to erasure: %v", idx, j, err)
+			for i := 0; i < r; i++ {
+				clear(st.SectorAt(i, j))
+				demoted[i*n+j] = true
+			}
+			continue
+		}
+		for i := 0; i < r; i++ {
+			copy(st.SectorAt(i, j), buf[i*sector:(i+1)*sector])
+		}
+	}
+
+	// Checksum the survivors; mismatches join the demoted set.
+	if idx < len(h.Sums) && h.Sums[idx] != nil {
+		skip := demoted
+		if len(h.baseSet) > 0 {
+			skip = make(map[int]bool, len(demoted)+len(h.baseSet))
+			for s := range demoted {
+				skip[s] = true
+			}
+			for s := range h.baseSet {
+				skip[s] = true
+			}
+		}
+		for _, s := range VerifyStripe(st, h.Sums[idx], skip) {
+			h.Stats.CorruptSectors++
+			h.logf("stripe %d sector %d (row %d, disk %d): checksum mismatch, demoting to erasure",
+				idx, s, s/n, s%n)
+			clear(st.Sector(s))
+			demoted[s] = true
+		}
+	}
+
+	if len(demoted) == 0 {
+		return nil
+	}
+
+	// Damage beyond the baseline: decode baseline ∪ demoted here, so
+	// the stripe leaves fully healed (a downstream baseline decode is
+	// then a no-op recomputation of already-correct sectors).
+	faulty := make([]int, 0, len(demoted)+len(h.baseSet))
+	for s := range demoted {
+		faulty = append(faulty, s)
+	}
+	for s := range h.baseSet {
+		if !demoted[s] {
+			faulty = append(faulty, s)
+		}
+	}
+	sc, err := codes.NewScenario(h.Code, faulty)
+	if err != nil {
+		return fmt.Errorf("fault: stripe %d: %w", idx, err)
+	}
+	if !codes.Decodable(h.Code, sc) {
+		return fmt.Errorf("fault: stripe %d: %d failures exceed %s's tolerance (unrecoverable)",
+			idx, len(faulty), h.Code.Name())
+	}
+	if err := h.dec.Decode(st, sc); err != nil {
+		return fmt.Errorf("fault: stripe %d: healing decode: %w", idx, err)
+	}
+	h.Stats.Healed++
+	h.logf("stripe %d: healed %d demoted sector(s) by re-decode", idx, len(demoted))
+	return nil
+}

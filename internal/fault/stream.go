@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+
+	"ppm/internal/stripe"
+)
+
+// Source and Sink mirror internal/pipeline's interfaces structurally,
+// so the wrappers below satisfy pipeline.Source/pipeline.Sink (and
+// accept them) without this package importing the pipeline — the
+// injection layer stays below every consumer.
+
+// Source matches pipeline.Source.
+type Source interface {
+	Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error)
+}
+
+// Sink matches pipeline.Sink.
+type Sink interface {
+	Drain(idx int, st *stripe.Stripe) error
+}
+
+// FaultySource wraps a Source with scheduled fill-side faults: read
+// errors fail the whole Next (transiently — the pipeline's retry
+// policy re-calls it and the event count exhausts), latency and hangs
+// delay it, and bit flips silently corrupt one sector of the scheduled
+// disk's strip in the produced stripe.
+type FaultySource struct {
+	inner Source
+	sched *Schedule
+	mu    sync.Mutex // guards rng: abandoned hung ops overlap live ones
+	rng   *rand.Rand
+	// Release, when non-nil, unblocks in-flight Hang delays early.
+	Release chan struct{}
+}
+
+// NewFaultySource wraps inner with the schedule's faults.
+func NewFaultySource(inner Source, sched *Schedule) *FaultySource {
+	return &FaultySource{inner: inner, sched: sched, rng: rand.New(rand.NewSource(sched.seed ^ 0x2545f4914f6cdd1d))}
+}
+
+// Schedule returns the live schedule.
+func (s *FaultySource) Schedule() *Schedule { return s.sched }
+
+// Next produces the wrapped source's stripe with stripe idx's
+// scheduled faults applied. Fault events are keyed (stripe, disk);
+// whichever disk has a live event fires it here, since the fill seam
+// sees whole stripes.
+func (s *FaultySource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	st, err := s.inner.Next(idx, slab)
+	if err != nil || st == nil {
+		return st, err
+	}
+	for d := 0; d < st.N(); d++ {
+		if ev := s.sched.take(idx, d, Latency, Hang); ev != nil {
+			delayOrRelease(ev.Delay, s.Release)
+		}
+		if ev := s.sched.take(idx, d, ReadError); ev != nil {
+			return nil, &InjectedError{Event: *ev}
+		}
+		if ev := s.sched.take(idx, d, BitFlip); ev != nil {
+			s.mu.Lock()
+			row := s.rng.Intn(st.R())
+			FlipByte(st.SectorAt(row, d), s.rng)
+			s.mu.Unlock()
+		}
+	}
+	return st, nil
+}
+
+// FaultySink wraps a Sink with scheduled drain-side faults: write
+// errors fail the Drain transiently, latency and hangs delay it.
+type FaultySink struct {
+	inner Sink
+	sched *Schedule
+	// Release, when non-nil, unblocks in-flight Hang delays early.
+	Release chan struct{}
+}
+
+// NewFaultySink wraps inner with the schedule's faults.
+func NewFaultySink(inner Sink, sched *Schedule) *FaultySink {
+	return &FaultySink{inner: inner, sched: sched}
+}
+
+// Drain forwards to the wrapped sink after firing stripe idx's
+// scheduled write faults.
+func (k *FaultySink) Drain(idx int, st *stripe.Stripe) error {
+	for d := 0; d < st.N(); d++ {
+		if ev := k.sched.take(idx, d, Latency, Hang); ev != nil {
+			delayOrRelease(ev.Delay, k.Release)
+		}
+		if ev := k.sched.take(idx, d, WriteError); ev != nil {
+			return &InjectedError{Event: *ev}
+		}
+	}
+	return k.inner.Drain(idx, st)
+}

@@ -330,3 +330,25 @@ func TestFullGridAnalytic(t *testing.T) {
 		t.Fatalf("full fig4 grid produced %d rows, want 171", got)
 	}
 }
+
+func TestChaosExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	e, ok := Lookup("chaos")
+	if !ok {
+		t.Fatal("chaos experiment missing")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"recovered byte-identical", // every geometry survived its storm
+		"hang@",                    // the schedule spec is printed for replay
+		"SD(6,4,2,1)", "LRC(6,2,2)", "RS(6,2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,7 +2,7 @@ package lint
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, ErrFlow, RegionArgs, StatsAccount, NoCopyLock}
+	return []*Analyzer{HotAlloc, FaultFree, ErrFlow, RegionArgs, StatsAccount, NoCopyLock}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,72 @@
+// faultfree: //ppm:hotpath regions are the steady-state inner loops —
+// the compiled decode, the pipeline compute stage, the pool checkout.
+// The fault-injection substrate (ppm/internal/fault) wraps the system
+// from outside: stores, sources and sinks at the fill/drain boundary.
+// If injection hooks leak into a hot region, the "measured" path is no
+// longer the production path — every benchmark and 0 allocs/op claim
+// silently includes injection overhead, and a schedule left enabled
+// could fire in a latency-critical loop. faultfree rejects any
+// reference into the fault package from an annotated region.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultFree is the hot-path fault-injection exclusion analyzer.
+var FaultFree = &Analyzer{
+	Name: "faultfree",
+	Doc:  "forbid references to the fault-injection package inside //ppm:hotpath regions",
+	Run:  runFaultFree,
+}
+
+// isFaultPkg reports whether an import path names the fault-injection
+// package: the real module path, or the bare single-element path the
+// fixture stub resolves to.
+func isFaultPkg(path string) bool {
+	return path == "fault" || path == "ppm/internal/fault" || strings.HasSuffix(path, "/internal/fault")
+}
+
+func runFaultFree(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && FuncAnnotated(fd, "hotpath") {
+				checkFaultFree(pass, fd.Body)
+			}
+		}
+		for _, stmt := range annotatedStmts(pass.Fset, file, "hotpath") {
+			checkFaultFree(pass, stmt)
+		}
+	}
+}
+
+// checkFaultFree walks one annotated region and reports every use that
+// resolves into the fault package: qualified references (fault.X),
+// methods and fields of fault-declared types, and dot-imported or
+// aliased names. Each selector reports once, at the expression.
+func checkFaultFree(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if pn, ok := pass.Info.Uses[identOf(n.X)].(*types.PkgName); ok && isFaultPkg(pn.Imported().Path()) {
+				pass.Reportf(n.Pos(), "hot path references %s.%s; fault injection belongs outside //ppm:hotpath regions, at the fill/drain boundary", pathBase(pn.Imported().Path()), n.Sel.Name)
+				return false
+			}
+			if obj := pass.Info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil && isFaultPkg(obj.Pkg().Path()) {
+				pass.Reportf(n.Pos(), "hot path uses %s from the fault-injection package; fault injection belongs outside //ppm:hotpath regions", n.Sel.Name)
+				return false
+			}
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil || obj.Pkg() == nil || !isFaultPkg(obj.Pkg().Path()) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "hot path uses %s from the fault-injection package; fault injection belongs outside //ppm:hotpath regions", n.Name)
+		}
+		return true
+	})
+}

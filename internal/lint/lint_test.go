@@ -11,6 +11,10 @@ func TestHotAllocFixture(t *testing.T) {
 	RunFixture(t, ".", HotAlloc, "hotalloc/a")
 }
 
+func TestFaultFreeFixture(t *testing.T) {
+	RunFixture(t, ".", FaultFree, "faultfree/a")
+}
+
 func TestErrFlowFixture(t *testing.T) {
 	RunFixture(t, ".", ErrFlow, "errflow/kernel")
 }

@@ -1,0 +1,17 @@
+// Package fault is a fixture stub mirroring the shape of the real
+// internal/fault package: the faultfree analyzer matches references by
+// import path, so fixtures exercise it against this stub without
+// importing the real module.
+package fault
+
+// IsTransient is the stub of the retry classifier.
+func IsTransient(err error) bool { return err != nil }
+
+// Injector is the stub of a per-strip fault injector.
+type Injector struct {
+	// Armed is the stub of a schedule toggle.
+	Armed bool
+}
+
+// Fire is the stub of the injection hook.
+func (Injector) Fire() {}

@@ -1,0 +1,60 @@
+// Package a is the faultfree fixture: references into the fault
+// package flagged inside //ppm:hotpath regions, and the same
+// references accepted outside them.
+package a
+
+import (
+	"fault"
+
+	fj "fault"
+)
+
+// inj lives at package scope; declarations outside hot regions are the
+// supported pattern (wrap at setup time, injection-free steady state).
+var inj fault.Injector
+
+// hot is a steady-state loop: no fault hooks allowed inside.
+//
+//ppm:hotpath
+func hot(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if fault.IsTransient(err) { // want "hot path references fault\.IsTransient"
+			n++
+		}
+	}
+	if fj.IsTransient(nil) { // want "hot path references fault\.IsTransient"
+		n++
+	}
+	inj.Fire()     // want "hot path uses Fire from the fault-injection package"
+	if inj.Armed { // want "hot path uses Armed from the fault-injection package"
+		n++
+	}
+	return n
+}
+
+// cold performs the same operations without the annotation: no
+// diagnostics.
+func cold(err error) bool {
+	inj.Fire()
+	return fault.IsTransient(err)
+}
+
+// stmtLevel exercises the statement-scoped annotation: only the marked
+// statement is checked.
+func stmtLevel(err error) bool {
+	armed := inj.Armed
+	//ppm:hotpath
+	if fault.IsTransient(err) { // want "hot path references fault\.IsTransient"
+		inj.Fire() // want "hot path uses Fire from the fault-injection package"
+	}
+	return armed
+}
+
+// suppressed shows a documented deviation.
+//
+//ppm:hotpath
+func suppressed(err error) bool {
+	//ppm:allow(faultfree) cold error-exit branch; classification happens once per failure, not per stripe
+	return fault.IsTransient(err)
+}

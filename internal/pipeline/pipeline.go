@@ -83,6 +83,12 @@ type Config struct {
 	Strategy core.Strategy
 	// Stats, when non-nil, accumulates mult_XORs across the stream.
 	Stats *kernel.Stats
+	// Retry bounds Source.Next/Sink.Drain failures: transient errors
+	// (per the structural Transient() bool contract) are retried with
+	// jittered exponential backoff, and OpTimeout abandons hung calls.
+	// The zero value keeps the historical behaviour: one attempt, no
+	// deadline, no extra goroutines. See RetryPolicy.
+	Retry RetryPolicy
 	// Auto fills the unset knobs (Depth, Workers, and the process-wide
 	// kernel tile size / fan-out threshold) from the host's calibrated
 	// autotune profile. The resolver is registered by importing
@@ -122,10 +128,22 @@ type Engine struct {
 	sentinel *job // end-of-stream marker on order
 
 	// Per-run state, published to the fill goroutine via the start
-	// channel send (happens-before its receive).
+	// channel send (happens-before its receive). dst is only read by the
+	// Run goroutine itself and the drain guard's runner (happens-before
+	// via the guard's request channel).
 	src  Source
+	dst  Sink
 	ctx  context.Context
 	stop atomic.Bool
+
+	// Guarded-op lanes for Config.Retry.OpTimeout (nil without one).
+	// fillGuard is driven by the fill goroutine, drainGuard by the Run
+	// goroutine; each owns a persistent runner so the steady state costs
+	// a channel round trip, not a goroutine spawn, per op.
+	fillGuard  *opGuard
+	drainGuard *opGuard
+	fillRng    uint64 // jitter state, fill goroutine only
+	drainRng   uint64 // jitter state, Run goroutine only
 
 	// shardErr records a compute-shard failure that escaped the per-job
 	// path (a pool-level panic outside compute). It poisons the engine:
@@ -146,6 +164,13 @@ type Engine struct {
 	stripes      atomic.Int64
 	running      atomic.Bool
 	runStart     atomic.Int64 // UnixNano of the active run's start
+
+	// Fault accounting (see StageStats): transient fill/drain failures
+	// that were retried away, and corruptions the storage layer detected
+	// and healed while feeding this engine (RecordCorruption).
+	fillRetries  atomic.Int64
+	drainRetries atomic.Int64
+	corruptions  atomic.Int64
 
 	// Test hooks (same-package tests only): testDelay stalls a stripe's
 	// compute to force out-of-order completion; testFail injects a
@@ -215,6 +240,17 @@ func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, 
 		}
 		e.free <- j
 	}
+	if cfg.Retry.OpTimeout > 0 {
+		// The guards' closures read e.src/e.dst at call time; both are
+		// published before the first guarded call crosses the request
+		// channel.
+		e.fillGuard = newOpGuard(func(idx int, st *stripe.Stripe) (*stripe.Stripe, error) {
+			return e.src.Next(idx, st)
+		})
+		e.drainGuard = newOpGuard(func(idx int, st *stripe.Stripe) (*stripe.Stripe, error) {
+			return nil, e.dst.Drain(idx, st)
+		})
+	}
 
 	go e.fillLoop()
 	// The compute shards ride the persistent kernel pool: each shard
@@ -232,9 +268,34 @@ func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, 
 	return e, nil
 }
 
+// ErrEnginePoisoned marks an engine whose compute shards died outside
+// the per-job path: RunContext wraps it, Healthy reports it, and Pool
+// replaces the engine on its next checkout.
+var ErrEnginePoisoned = errors.New("pipeline: engine poisoned")
+
 // Plan returns the compiled plan (nil for the empty scenario), for
 // inspection and cost analysis.
 func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// Healthy reports whether the engine can still serve runs: not closed
+// and not poisoned by a shard-level failure. Safe to call concurrently.
+func (e *Engine) Healthy() bool {
+	if e.closed.Load() {
+		return false
+	}
+	err, _ := e.shardErr.Load().(error)
+	return err == nil
+}
+
+// RecordCorruption adds n detected-and-handled corruptions (checksum
+// mismatches demoted to erasures, torn strips a scrub rebuilt) to the
+// engine's fault counters. The storage layer that feeds the engine
+// calls it; the count surfaces through StageStats.
+func (e *Engine) RecordCorruption(n int) {
+	if n > 0 {
+		e.corruptions.Add(int64(n))
+	}
+}
 
 // Config returns the engine's configuration with every default (and,
 // under Auto, every autotuned knob) resolved.
@@ -249,6 +310,10 @@ func (e *Engine) Close() {
 		e.closed.Store(true)
 		close(e.start)
 		close(e.work)
+		if e.fillGuard != nil {
+			e.fillGuard.close()
+			e.drainGuard.close()
+		}
 	})
 }
 
@@ -272,9 +337,10 @@ func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, err
 		return 0, fmt.Errorf("pipeline: engine is closed")
 	}
 	if err, _ := e.shardErr.Load().(error); err != nil {
-		return 0, fmt.Errorf("pipeline: compute shard failed: %w", err)
+		return 0, fmt.Errorf("pipeline: %w: compute shard failed: %w", ErrEnginePoisoned, err)
 	}
 	e.src = src
+	e.dst = dst
 	e.ctx = ctx
 	e.stop.Store(false)
 	e.runStart.Store(time.Now().UnixNano())
@@ -319,7 +385,7 @@ func (e *Engine) RunContext(ctx context.Context, src Source, dst Sink) (int, err
 			}
 		}
 		if firstErr == nil && !stopped {
-			switch derr := dst.Drain(j.idx, j.st); {
+			switch derr := e.sinkDrain(dst, j.idx, j.st); {
 			case derr == nil:
 				drained++
 				e.stripes.Add(1)
@@ -390,7 +456,7 @@ func (e *Engine) fillOne() {
 		if j == nil {
 			break
 		}
-		st, err := e.src.Next(idx, j.slab)
+		st, err := e.srcNext(idx, j.slab)
 		if err != nil {
 			// A fill failure takes the job's error slot straight to the
 			// drain stage; compute never sees it.

@@ -28,8 +28,21 @@ var errPoolClosed = errors.New("pipeline: pool is closed")
 //ppm:nocopy
 type Pool struct {
 	engines   chan *Engine
-	all       []*Engine
 	closeOnce sync.Once
+
+	// Build parameters, kept so a poisoned engine (shard death — see
+	// ErrEnginePoisoned) can be replaced with a fresh one at its next
+	// checkout instead of failing every stream routed to its slot.
+	code       codes.Code
+	sc         codes.Scenario
+	sectorSize int
+	cfg        Config
+
+	// mu guards all and retired: checkout-time replacement swaps
+	// engines while StageStats may be iterating.
+	mu      sync.Mutex
+	all     []*Engine
+	retired StageStats // accumulated stats of replaced engines
 }
 
 // NewPool builds size engines (size <= 0 selects the autotune
@@ -64,8 +77,12 @@ func NewPool(c codes.Code, sc codes.Scenario, sectorSize, size int, cfg Config) 
 		}
 	}
 	p := &Pool{
-		engines: make(chan *Engine, size),
-		all:     make([]*Engine, 0, size),
+		engines:    make(chan *Engine, size),
+		all:        make([]*Engine, 0, size),
+		code:       c,
+		sc:         sc,
+		sectorSize: sectorSize,
+		cfg:        cfg,
 	}
 	for i := 0; i < size; i++ {
 		e, err := New(c, sc, sectorSize, cfg)
@@ -76,6 +93,10 @@ func NewPool(c codes.Code, sc codes.Scenario, sectorSize, size int, cfg Config) 
 		p.all = append(p.all, e)
 		p.engines <- e
 	}
+	// Keep the fully resolved per-engine config (New fills the remaining
+	// defaults) both for Config() and for rebuilding replacement engines
+	// identically.
+	p.cfg = p.all[0].cfg
 	return p, nil
 }
 
@@ -84,14 +105,12 @@ func (p *Pool) Size() int { return len(p.all) }
 
 // Config returns the per-engine configuration the pool resolved at
 // construction (after autotune and worker-budget division).
-func (p *Pool) Config() Config {
-	if len(p.all) == 0 {
-		return Config{}
-	}
-	return p.all[0].cfg
-}
+func (p *Pool) Config() Config { return p.cfg }
 
 // get checks an engine out, honouring ctx while every engine is busy.
+// A poisoned or closed engine coming off the channel is replaced with a
+// fresh build before it is handed out: a shard death costs one stream
+// an error (the Run that observed it), never the slot.
 //
 //ppm:hotpath
 func (p *Pool) get(ctx context.Context) (*Engine, error) {
@@ -100,10 +119,36 @@ func (p *Pool) get(ctx context.Context) (*Engine, error) {
 		if !ok {
 			return nil, errPoolClosed
 		}
-		return e, nil
+		if e.Healthy() {
+			return e, nil
+		}
+		return p.replace(e)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// replace retires a dead engine and builds its successor. On build
+// failure the dead engine goes back on the channel — keeping the pool's
+// capacity invariant (Size engines always circulating) — and the error
+// surfaces to the caller; the next checkout retries the replacement.
+func (p *Pool) replace(dead *Engine) (*Engine, error) {
+	dead.Close()
+	fresh, err := New(p.code, p.sc, p.sectorSize, p.cfg)
+	if err != nil {
+		p.engines <- dead
+		return nil, fmt.Errorf("pipeline: pool engine replacement: %w", err)
+	}
+	p.mu.Lock()
+	for i, e := range p.all {
+		if e == dead {
+			p.all[i] = fresh
+			break
+		}
+	}
+	p.retired.Add(dead.StageStats())
+	p.mu.Unlock()
+	return fresh, nil
 }
 
 // put returns a checked-out engine.
@@ -136,7 +181,9 @@ func (p *Pool) RunContext(ctx context.Context, src Source, dst Sink) (int, error
 // count means the host is out of cores, fill/drain stall means the
 // store is the bottleneck.
 func (p *Pool) StageStats() StageStats {
-	var s StageStats
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.retired
 	for _, e := range p.all {
 		s.Add(e.StageStats())
 	}
@@ -146,9 +193,11 @@ func (p *Pool) StageStats() StageStats {
 // Close closes every engine. Idempotent; must not race a RunContext.
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() {
+		p.mu.Lock()
 		for _, e := range p.all {
 			e.Close()
 		}
+		p.mu.Unlock()
 		close(p.engines)
 		// Drain the checked-in engines so a later get() sees the closed,
 		// empty channel instead of checking out a dead engine.

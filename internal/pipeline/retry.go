@@ -1,0 +1,297 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppm/internal/stripe"
+)
+
+// Fault handling at the fill/drain seams. A Source or Sink backed by
+// real storage fails in three ways: transiently (a flaky read that
+// clears on retry), permanently (a missing file), and by hanging (a
+// dying device that never returns). The engine's RetryPolicy bounds
+// all three: transient failures — any error that classifies itself via
+// a `Transient() bool` method, the structural contract shared with
+// internal/fault — are retried with jittered exponential backoff;
+// permanent failures surface immediately; and with OpTimeout set, a
+// hung call is abandoned at its deadline and fails the run instead of
+// wedging it.
+//
+// The steady state stays allocation-free: with no policy configured
+// the calls go straight through, and with one configured the fast path
+// costs a few branches (plus, under OpTimeout, a channel round trip
+// through a persistent runner goroutine and a reused timer). Only an
+// actual fault allocates.
+//
+// Recovery from a *permanently* hung or corrupt strip is the storage
+// layer's job (demote it to an erasure and let the decode heal it —
+// see internal/fault's Healer); the pipeline's deadline is the
+// last-resort bound that turns "hangs forever" into a clean error. A
+// deadline expiry abandons the call while it may still be writing its
+// slab, so it is not retried and the engine should be Closed rather
+// than reused after one fires.
+
+// RetryPolicy bounds Source.Next/Sink.Drain failures. The zero value
+// disables everything (single attempt, no deadline).
+type RetryPolicy struct {
+	// MaxAttempts caps the total tries per op (first included);
+	// <= 1 means no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry, doubling each
+	// further retry; <= 0 selects 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 selects 100ms.
+	MaxDelay time.Duration
+	// OpTimeout bounds one Next/Drain call; 0 leaves calls unbounded.
+	// An expired call fails the run permanently (see above).
+	OpTimeout time.Duration
+	// Seed drives the jitter; runs with equal policies back off
+	// identically, keeping chaos tests replayable.
+	Seed int64
+}
+
+// active reports whether the policy changes anything.
+func (p RetryPolicy) active() bool { return p.MaxAttempts > 1 || p.OpTimeout > 0 }
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.MaxDelay
+}
+
+// backoff returns the jittered delay before retry number r, advancing
+// the xorshift state (no rand.Rand: the fault path shouldn't allocate
+// a generator either).
+func (p RetryPolicy) backoff(r int, state *uint64) time.Duration {
+	d := p.base() << uint(r)
+	if d <= 0 || d > p.cap() {
+		d = p.cap()
+	}
+	s := *state
+	if s == 0 {
+		s = uint64(p.Seed)*2862933555777941757 + 3037000493
+	}
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	*state = s
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + s%(half+1))
+}
+
+// transienter is the structural classification contract: errors that
+// implement it decide their own retryability.
+type transienter interface{ Transient() bool }
+
+func isTransient(err error) bool {
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// opTimeoutError is the permanent error an expired OpTimeout surfaces.
+type opTimeoutError struct{}
+
+func (opTimeoutError) Error() string { return "op deadline exceeded (hung Source/Sink call abandoned)" }
+
+// ErrOpTimeout is returned (wrapped) when a Source.Next or Sink.Drain
+// call outlives Config.Retry.OpTimeout.
+var ErrOpTimeout error = opTimeoutError{}
+
+// opCall/opResult cross the runner boundary; the res channel is reused
+// until an abandonment discards it.
+type opCall struct {
+	idx int
+	st  *stripe.Stripe
+	res chan opResult
+}
+
+type opResult struct {
+	st  *stripe.Stripe
+	err error
+}
+
+// opGuard owns one guarded-op lane: a persistent runner goroutine
+// executing the calls, a reusable result channel, and a reusable
+// timer. Each guard is driven by exactly one goroutine (fill stage or
+// Run/drain goroutine).
+type opGuard struct {
+	do    func(idx int, st *stripe.Stripe) (*stripe.Stripe, error)
+	req   chan opCall
+	res   chan opResult
+	timer *time.Timer
+}
+
+func newOpGuard(do func(int, *stripe.Stripe) (*stripe.Stripe, error)) *opGuard {
+	g := &opGuard{do: do, req: make(chan opCall), res: make(chan opResult, 1)}
+	g.timer = time.NewTimer(time.Hour)
+	if !g.timer.Stop() {
+		<-g.timer.C
+	}
+	go runnerLoop(g.do, g.req)
+	return g
+}
+
+// runnerLoop executes guarded calls until the req channel closes. It
+// is deliberately free of engine state: an abandoned runner finishes
+// its hung call, posts into its (discarded) result channel, sees the
+// closed req channel and exits.
+func runnerLoop(do func(int, *stripe.Stripe) (*stripe.Stripe, error), req chan opCall) {
+	for c := range req {
+		st, err := do(c.idx, c.st)
+		c.res <- opResult{st, err}
+	}
+}
+
+// call runs one guarded op with the deadline. The ok result is false
+// when the call was abandoned (timeout or cancellation) — the guard
+// has already replaced its runner and result channel, so the guard
+// stays usable, but the abandoned call may still be running.
+func (g *opGuard) call(idx int, st *stripe.Stripe, timeout time.Duration, cancel <-chan struct{}) (opResult, bool) {
+	g.req <- opCall{idx: idx, st: st, res: g.res}
+	g.timer.Reset(timeout)
+	select {
+	case r := <-g.res:
+		if !g.timer.Stop() {
+			<-g.timer.C
+		}
+		return r, true
+	case <-g.timer.C:
+		g.abandon()
+		return opResult{}, false
+	case <-cancel:
+		if !g.timer.Stop() {
+			<-g.timer.C
+		}
+		g.abandon()
+		return opResult{}, false
+	}
+}
+
+// abandon discards the in-flight call: the old runner drains into the
+// old buffered result channel whenever it finally returns, then exits;
+// a fresh runner and result channel take over.
+func (g *opGuard) abandon() {
+	close(g.req)
+	g.req = make(chan opCall)
+	g.res = make(chan opResult, 1)
+	go runnerLoop(g.do, g.req)
+}
+
+// close shuts the guard's runner down (idempotent per guard lifetime;
+// only called from Engine.Close).
+func (g *opGuard) close() {
+	close(g.req)
+}
+
+// srcNext is the fill stage's guarded Source.Next: retries transient
+// failures under the policy and bounds each call by OpTimeout.
+func (e *Engine) srcNext(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	p := &e.cfg.Retry
+	if !p.active() {
+		return e.src.Next(idx, slab)
+	}
+	done := e.ctx.Done()
+	for attempt := 0; ; attempt++ {
+		var r opResult
+		if p.OpTimeout > 0 {
+			var ok bool
+			r, ok = e.fillGuard.call(idx, slab, p.OpTimeout, done)
+			if !ok {
+				if err := e.ctx.Err(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("%w after %v (stripe %d fill)", ErrOpTimeout, p.OpTimeout, idx)
+			}
+		} else {
+			r.st, r.err = e.src.Next(idx, slab)
+		}
+		if r.err == nil {
+			return r.st, nil
+		}
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !isTransient(r.err) || attempt >= p.MaxAttempts-1 {
+			if attempt > 0 {
+				return nil, fmt.Errorf("fill failed after %d attempts: %w", attempt+1, r.err)
+			}
+			return nil, r.err
+		}
+		e.fillRetries.Add(1)
+		if !e.sleep(p.backoff(attempt, &e.fillRng), done) {
+			return nil, e.ctx.Err()
+		}
+	}
+}
+
+// sinkDrain is the drain stage's guarded Sink.Drain.
+func (e *Engine) sinkDrain(dst Sink, idx int, st *stripe.Stripe) error {
+	p := &e.cfg.Retry
+	if !p.active() {
+		return dst.Drain(idx, st)
+	}
+	done := e.ctx.Done()
+	for attempt := 0; ; attempt++ {
+		var err error
+		if p.OpTimeout > 0 {
+			r, ok := e.drainGuard.call(idx, st, p.OpTimeout, done)
+			if !ok {
+				if cerr := e.ctx.Err(); cerr != nil {
+					return cerr
+				}
+				return fmt.Errorf("%w after %v (stripe %d drain)", ErrOpTimeout, p.OpTimeout, idx)
+			}
+			err = r.err
+		} else {
+			err = dst.Drain(idx, st)
+		}
+		if err == nil || errors.Is(err, Stop) {
+			return err
+		}
+		if cerr := e.ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if !isTransient(err) || attempt >= p.MaxAttempts-1 {
+			if attempt > 0 {
+				return fmt.Errorf("drain failed after %d attempts: %w", attempt+1, err)
+			}
+			return err
+		}
+		e.drainRetries.Add(1)
+		if !e.sleep(p.backoff(attempt, &e.drainRng), done) {
+			return e.ctx.Err()
+		}
+	}
+}
+
+// sleep blocks for d or until cancellation; reports whether the full
+// backoff elapsed. The timer is per-call (fault path only).
+func (e *Engine) sleep(d time.Duration, cancel <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}

@@ -157,10 +157,27 @@ func (st *Stripe) Erase(positions []int) {
 
 // Scribble overwrites the given sectors with garbage derived from the
 // seed — stronger than Erase for round-trip tests, since a decoder that
-// "recovers" by leaving buffers alone will be caught.
+// "recovers" by leaving buffers alone will be caught. Every scribbled
+// sector is guaranteed to differ from its previous contents: if the rng
+// happens to reproduce a sector byte for byte (certain for sectors that
+// already held that stream, possible for any), its first byte is
+// flipped, so "corrupt then recover" tests can never pass vacuously.
 func (st *Stripe) Scribble(seed int64, positions []int) {
 	rng := rand.New(rand.NewSource(seed))
+	prev := make([]byte, st.sectorSize)
 	for _, idx := range positions {
-		rng.Read(st.Sector(idx))
+		sec := st.Sector(idx)
+		copy(prev, sec)
+		rng.Read(sec)
+		if bytes.Equal(sec, prev) {
+			sec[0] ^= 0xFF
+		}
 	}
+}
+
+// FlipBit flips one chosen bit of one sector — the minimal guaranteed
+// silent corruption, for checksum and scrub tests that need damage
+// smaller and more targeted than Scribble's whole-sector garbage.
+func (st *Stripe) FlipBit(position, byteOff, bit int) {
+	st.Sector(position)[byteOff] ^= 1 << (bit & 7)
 }
