@@ -27,8 +27,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the kernel-layer series: gf + kernel region benchmarks, 5 runs
-# each (best sample kept), ref-vs-tiled speedups -> BENCH_kernel.json.
-# Fails if any 128 KiB/8 MiB case drops below the 1.5x floor.
+# each (best sample kept), ref-vs-tiled and portable-vs-xorplan
+# speedups -> BENCH_kernel.json plus a dated BENCH_history/ copy.
+# Fails if any 128 KiB/8 MiB ref/tiled case drops below the 1.5x floor,
+# or if no GF width reaches 2x for xorplan at a 128 KiB+ size.
 bench-kernel:
 	$(GO) run ./cmd/benchkernel -count 5 -o BENCH_kernel.json
 
@@ -84,11 +86,12 @@ fuzz-smoke:
 	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzRegionOps -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzFusedAgainstScalar -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bitmatrix -run=^$$ -fuzz=FuzzExpandApply -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xorplan -run=^$$ -fuzz=FuzzProgramVsScalar -fuzztime=$(FUZZTIME)
 
 # Pointer-safety instrumentation over the packages that sit on the
 # Go/assembly boundary.
 checkptr:
-	$(GO) test -gcflags=all=-d=checkptr ./internal/gf ./internal/kernel
+	$(GO) test -gcflags=all=-d=checkptr ./internal/gf ./internal/kernel ./internal/xorplan
 
 # Fault storm: the end-to-end ppmfile chaos tests (missing disk +
 # silent flip + transient errors + a permanently hung strip, recovered

@@ -4,13 +4,20 @@
 // It runs the gf and kernel region benchmarks -count times each, keeps
 // the best (minimum ns/op) sample per benchmark — the standard noise
 // filter on shared machines — and writes BENCH_kernel.json. For every
-// ref_*/tiled_* pair emitted by BenchmarkKernelRegions it also records
-// the speedup of the tiled+fused path over the pre-PR term-at-a-time
-// sweep, which is the number the PR's acceptance gate reads.
+// ref_*/tiled_* pair emitted by BenchmarkKernelRegions it records the
+// speedup of the tiled+fused path over the pre-PR term-at-a-time sweep
+// (gated at 1.5x for the 128 KiB+ cases), and for every
+// portable_*/xorplan_* pair of BenchmarkKernelXorplan the speedup of
+// the XOR-program backend over the no-GFNI table path (gated: at least
+// one GF width must reach 2x at each 128 KiB+ size).
+//
+// Alongside the overwritten snapshot, every run appends a dated copy
+// under BENCH_history/ so the series keeps a trajectory across PRs
+// instead of only the latest point.
 //
 // Usage:
 //
-//	benchkernel [-count 5] [-benchtime 300ms] [-o BENCH_kernel.json]
+//	benchkernel [-count 5] [-benchtime 300ms] [-o BENCH_kernel.json] [-history BENCH_history]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -51,14 +59,28 @@ type pair struct {
 	MeetsFloor bool    `json:"meets_1_5x"`
 }
 
+// xpair is one portable-vs-xorplan case of BenchmarkKernelXorplan:
+// both arms run with the affine kernels off, so the speedup is what
+// the XOR-program backend buys the no-GFNI hardware class.
+type xpair struct {
+	Case          string  `json:"case"` // e.g. "gf8_128KiB"
+	PortableNsOp  float64 `json:"portable_ns_op"`
+	PortableMBs   float64 `json:"portable_mb_s"`
+	XorplanNsOp   float64 `json:"xorplan_ns_op"`
+	XorplanMBs    float64 `json:"xorplan_mb_s"`
+	Speedup       float64 `json:"speedup"`
+	MeetsXorFloor bool    `json:"meets_2x"`
+}
+
 type report struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	CPU        string        `json:"cpu,omitempty"`
-	Count      int           `json:"count"`
-	BenchTime  string        `json:"benchtime"`
-	Pairs      []pair        `json:"kernel_regions_pairs"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Date         string        `json:"date"`
+	GoVersion    string        `json:"go_version"`
+	CPU          string        `json:"cpu,omitempty"`
+	Count        int           `json:"count"`
+	BenchTime    string        `json:"benchtime"`
+	Pairs        []pair        `json:"kernel_regions_pairs"`
+	XorplanPairs []xpair       `json:"xorplan_pairs"`
+	Benchmarks   []benchResult `json:"benchmarks"`
 }
 
 func main() {
@@ -66,6 +88,7 @@ func main() {
 		count     = flag.Int("count", 5, "runs per benchmark (best sample kept)")
 		benchtime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		out       = flag.String("o", "BENCH_kernel.json", "output file")
+		history   = flag.String("history", "BENCH_history", "directory for dated report copies (empty disables)")
 	)
 	flag.Parse()
 
@@ -80,7 +103,7 @@ func main() {
 
 	for _, run := range []struct{ pkg, pattern string }{
 		{"./internal/gf", "BenchmarkMultXORs|BenchmarkMultiplierVsMultXORs"},
-		{"./internal/kernel", "BenchmarkKernelRegions|BenchmarkKernelProductChain"},
+		{"./internal/kernel", "BenchmarkKernelRegions|BenchmarkKernelXorplan|BenchmarkKernelProductChain"},
 	} {
 		fmt.Fprintf(os.Stderr, "benchkernel: %s -bench '%s' -count=%d\n", run.pkg, run.pattern, *count)
 		args := []string{
@@ -129,6 +152,7 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, *results[name])
 	}
 	rep.Pairs = regionPairs(results)
+	rep.XorplanPairs = xorplanPairs(results)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -140,10 +164,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchkernel: %v\n", err)
 		os.Exit(1)
 	}
+	if *history != "" {
+		if err := writeHistory(*history, rep.Date, data); err != nil {
+			fmt.Fprintf(os.Stderr, "benchkernel: history: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("%-14s %12s %12s %9s\n", "case", "ref MB/s", "tiled MB/s", "speedup")
 	for _, p := range rep.Pairs {
 		fmt.Printf("%-14s %12.1f %12.1f %8.2fx\n", p.Case, p.RefMBs, p.TiledMBs, p.Speedup)
+	}
+	fmt.Printf("%-14s %12s %12s %9s\n", "case", "table MB/s", "xorplan MB/s", "speedup")
+	for _, p := range rep.XorplanPairs {
+		fmt.Printf("%-14s %12.1f %12.1f %8.2fx\n", p.Case, p.PortableMBs, p.XorplanMBs, p.Speedup)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 
@@ -155,6 +189,33 @@ func main() {
 			}
 		}
 	}
+	// XOR-backend gate: at every 128 KiB+ size, at least one GF width
+	// must reach the 2x floor over the no-GFNI table path.
+	for _, size := range []string{"128KiB", "8MiB"} {
+		seen, best := false, 0.0
+		for _, p := range rep.XorplanPairs {
+			if strings.HasSuffix(p.Case, "_"+size) {
+				seen = true
+				if p.Speedup > best {
+					best = p.Speedup
+				}
+			}
+		}
+		if seen && best < 2.0 {
+			fmt.Fprintf(os.Stderr, "benchkernel: best xorplan speedup at %s is %.2fx, below the 2x floor\n", size, best)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeHistory appends a dated copy of the report to dir, so the bench
+// series keeps every recorded point, not just the latest overwrite.
+func writeHistory(dir, date string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stamp := strings.NewReplacer(":", "", "-", "").Replace(date)
+	return os.WriteFile(filepath.Join(dir, "BENCH_kernel-"+stamp+".json"), data, 0o644)
 }
 
 // parseBenchLine decodes one `go test -bench` result line:
@@ -214,6 +275,35 @@ func regionPairs(results map[string]*benchResult) []pair {
 			TiledMBs:   tiled.BestMBs,
 			Speedup:    sp,
 			MeetsFloor: sp >= 1.5,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Case < pairs[j].Case })
+	return pairs
+}
+
+// xorplanPairs matches BenchmarkKernelXorplan/portable_<case> with its
+// xorplan_<case> partner and computes the speedup from best ns/op.
+func xorplanPairs(results map[string]*benchResult) []xpair {
+	const prefix = "BenchmarkKernelXorplan/"
+	var pairs []xpair
+	for name, portable := range results {
+		c, ok := strings.CutPrefix(name, prefix+"portable_")
+		if !ok {
+			continue
+		}
+		xp := results[prefix+"xorplan_"+c]
+		if xp == nil || portable.BestNs == 0 || xp.BestNs == 0 {
+			continue
+		}
+		sp := portable.BestNs / xp.BestNs
+		pairs = append(pairs, xpair{
+			Case:          c,
+			PortableNsOp:  portable.BestNs,
+			PortableMBs:   portable.BestMBs,
+			XorplanNsOp:   xp.BestNs,
+			XorplanMBs:    xp.BestMBs,
+			Speedup:       sp,
+			MeetsXorFloor: sp >= 2.0,
 		})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Case < pairs[j].Case })

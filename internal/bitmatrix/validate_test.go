@@ -1,0 +1,100 @@
+package bitmatrix
+
+import (
+	"strings"
+	"testing"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// TestValidateCatchesForwardTempReference is the regression test for
+// the unchecked-temp-id executor bug: a schedule whose CSE round emits
+// a temp referencing a *later* temp used to index the temp arena before
+// that packet was written (reading zeroes here, stale memory with a
+// pooled arena). Validate must reject it and Apply must refuse to run.
+func TestValidateCatchesForwardTempReference(t *testing.T) {
+	// 1 output row = temp1 over 4 inputs, where temp0 references temp1.
+	prog := &SetSchedule{
+		Rows:    1,
+		InCount: 4,
+		Temps: [][2]int{
+			{5, 0}, // temp0 := temp1 ^ in0 — temp1 (id 5) is defined later
+			{1, 2}, // temp1 := in1 ^ in2
+		},
+		Ops:      []SetOp{{Dst: 0, From: -1, Srcs: []int{4}}},
+		XORCount: 5,
+	}
+	err := prog.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a temp referencing a later temp")
+	}
+	if !strings.Contains(err.Error(), "temp 0") {
+		t.Fatalf("error does not name the offending temp: %v", err)
+	}
+
+	sched := &Schedule{rows: 1, cols: 4, w: 1, prog: prog}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply ran a schedule with a forward temp reference")
+		}
+	}()
+	sched.Apply(AllocPackets(4, 8), AllocPackets(1, 8))
+}
+
+// TestValidateRejectsMalformedPrograms sweeps the remaining corruption
+// classes one by one; each must be caught before any packet is touched.
+func TestValidateRejectsMalformedPrograms(t *testing.T) {
+	base := func() *SetSchedule {
+		return &SetSchedule{
+			Rows:    2,
+			InCount: 3,
+			Temps:   [][2]int{{0, 1}},
+			Ops: []SetOp{
+				{Dst: 0, From: -1, Srcs: []int{3, 2}},
+				{Dst: 1, From: 0, Srcs: []int{2}},
+			},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline program invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SetSchedule)
+	}{
+		{"temp id out of range", func(p *SetSchedule) { p.Temps[0][1] = 99 }},
+		{"negative temp source", func(p *SetSchedule) { p.Temps[0][0] = -1 }},
+		{"op source beyond temp arena", func(p *SetSchedule) { p.Ops[0].Srcs[0] = 4 }},
+		{"negative op source", func(p *SetSchedule) { p.Ops[1].Srcs[0] = -2 }},
+		{"dst out of range", func(p *SetSchedule) { p.Ops[1].Dst = 2 }},
+		{"row written twice", func(p *SetSchedule) { p.Ops[1].Dst = 0 }},
+		{"derive from unwritten row", func(p *SetSchedule) { p.Ops[0].From = 1 }},
+		{"derive from out-of-range row", func(p *SetSchedule) { p.Ops[1].From = 7 }},
+	}
+	for _, tc := range cases {
+		p := base()
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the corrupt program", tc.name)
+		}
+	}
+}
+
+// TestOptimizedSchedulesValidate pins that every schedule the real
+// construction emits passes its own validation — the check in Apply
+// must never fire on legitimate programs.
+func TestOptimizedSchedulesValidate(t *testing.T) {
+	for _, f := range []gf.Field{gf.GF8, gf.GF16} {
+		m := matrix.New(f, 3, 5)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 5; j++ {
+				m.Set(i, j, uint32(1+(i+j)%6))
+			}
+		}
+		sched := Expand(f, m).Optimize()
+		if err := sched.Program().Validate(); err != nil {
+			t.Errorf("gf%d: optimized schedule fails validation: %v", f.W(), err)
+		}
+	}
+}

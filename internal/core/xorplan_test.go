@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"ppm/internal/kernel"
+	"ppm/internal/xorplan"
+)
+
+// TestDecodeXorplanForcedReusesCompiledPrograms decodes repeated
+// stripes with the XOR-program backend forced: the bytes must round
+// trip, the decoder's plan cache must serve the repeats, and — because
+// compiled matrices live on cached plans and xorplan memoizes by
+// matrix — no new XOR programs may be compiled after the first decode.
+func TestDecodeXorplanForcedReusesCompiledPrograms(t *testing.T) {
+	defer kernel.SetXorplanMode(kernel.SetXorplanMode(kernel.XorplanOn))
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	dec := NewDecoder(sd)
+
+	decodeOne := func(seed int64) {
+		st := encodedStripe(t, sd, 128, seed)
+		want := st.Clone()
+		st.Scribble(seed, sc.Faulty)
+		if err := dec.Decode(st, sc); err != nil {
+			t.Fatalf("decode seed %d: %v", seed, err)
+		}
+		if !st.Equal(want) {
+			t.Fatalf("decode seed %d: wrong bytes with xorplan backend", seed)
+		}
+	}
+
+	decodeOne(1)
+	_, missesAfterFirst := xorplan.CacheStats()
+	decodeOne(2)
+	decodeOne(3)
+
+	if hits, misses := dec.PlanCacheStats(); hits < 2 {
+		t.Errorf("plan cache served %d hits / %d misses over 3 identical-pattern decodes, want >= 2 hits", hits, misses)
+	}
+	if _, misses := xorplan.CacheStats(); misses != missesAfterFirst {
+		t.Errorf("repeat decodes recompiled XOR programs: misses %d -> %d", missesAfterFirst, misses)
+	}
+}

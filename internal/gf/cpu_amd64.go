@@ -15,9 +15,43 @@ var affineSupported = detectAffine()
 // exercise both paths on capable hardware.
 var useAffine = affineSupported && os.Getenv("PPM_NO_GFNI") == ""
 
+// vectorISA is the widest vector-XOR ISA the CPU and OS support; see
+// vec.go for the levels and VectorISALevel for the public accessor.
+var vectorISA = detectVectorISA()
+
 // cpuidex and xgetbv0 are implemented in cpu_amd64.s.
 func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
+
+// detectVectorISA probes for the plain vector-XOR levels: AVX-512
+// (F + BW, full ZMM/opmask state OS-saved) or AVX2 (YMM state
+// OS-saved). Unlike detectAffine it requires no GFNI or VBMI — VPXOR
+// predates them by a decade of hardware.
+func detectVectorISA() int {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return VecNone
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&(1<<27) == 0 { // OSXSAVE: XGETBV available and OS uses XSAVE
+		return VecNone
+	}
+	_, ebx, _, _ := cpuidex(7, 0)
+	xlo, _ := xgetbv0()
+	const (
+		avx2     = 1 << 5
+		avx512f  = 1 << 16
+		avx512bw = 1 << 30
+	)
+	if ebx&avx512f != 0 && ebx&avx512bw != 0 && xlo&0xE6 == 0xE6 {
+		return VecAVX512
+	}
+	// XCR0: SSE (1) and AVX (2) state must be OS-enabled for YMM use.
+	if ebx&avx2 != 0 && xlo&0x6 == 0x6 {
+		return VecAVX2
+	}
+	return VecNone
+}
 
 func detectAffine() bool {
 	maxID, _, _, _ := cpuidex(0, 0)

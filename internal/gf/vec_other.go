@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package gf
+
+// No vector-XOR kernels off amd64: the portable 64-bit sweeps are the
+// only backend.
+const vectorISA = VecNone

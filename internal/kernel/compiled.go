@@ -5,6 +5,7 @@ import (
 
 	"ppm/internal/gf"
 	"ppm/internal/matrix"
+	"ppm/internal/xorplan"
 )
 
 // CompiledMatrix is a matrix pre-lowered into fused per-row kernels:
@@ -32,6 +33,10 @@ type CompiledMatrix struct {
 	// and by tests asserting multiplier sharing.
 	mults [][]CompiledTerm
 	nnz   int
+	// prog, when non-nil, is the compiled XOR program (internal/xorplan)
+	// backing the region-application paths instead of the row kernels —
+	// attached by Compile when XorplanActive (GFNI absent, or forced).
+	prog *xorplan.Program
 }
 
 // CompiledTerm is one nonzero coefficient of a compiled row.
@@ -66,6 +71,14 @@ func Compile(f gf.Field, m *matrix.Matrix) *CompiledMatrix {
 			}
 			cm.mults[i] = append(cm.mults[i], CompiledTerm{Col: j, Mult: mult})
 			cm.nnz++
+		}
+	}
+	if XorplanActive() {
+		// Compiled programs are memoized process-wide, so recompiling the
+		// same matrix (per-stripe decode plans, pooled engines) reuses one
+		// schedule. A lowering failure just leaves the row kernels serving.
+		if prog, err := xorplan.CompileCached(f, m); err == nil {
+			cm.prog = prog
 		}
 	}
 	return cm
@@ -131,6 +144,14 @@ func (cm *CompiledMatrix) applySpan(in, out [][]byte, lo, hi int) {
 	if lo >= hi {
 		return
 	}
+	if cm.prog != nil && !cm.prog.HasDerivative() {
+		// The XOR program accumulates the same sum and does its own
+		// arena-budget tiling (capped at this driver's tile, so the two
+		// blockings compose). Derivative-scheduled programs copy between
+		// output rows and only run in overwrite mode — see ApplyOverwrite.
+		cm.prog.RunAccumulate(in, out, lo, hi)
+		return
+	}
 	arena := getViewArena(len(in))
 	views := arena.take(len(in))
 	tile := TileSize()
@@ -147,6 +168,33 @@ func (cm *CompiledMatrix) applySpan(in, out [][]byte, lo, hi int) {
 		}
 	}
 	arena.release()
+}
+
+// ApplyOverwrite computes out[i] = Σ_j M[i][j] * in[j], fully
+// overwriting out — Apply's contract minus the caller-side zeroing
+// pass. With an XOR program attached the zeroing disappears entirely
+// (overwrite runs seed each destination with its first fused XOR, and
+// derivative-scheduled rows start from a sibling row instead of
+// nothing); otherwise it zeroes and falls back to Apply.
+func (cm *CompiledMatrix) ApplyOverwrite(in, out [][]byte, stats *Stats) {
+	cm.checkShape(in, out)
+	if cm.prog == nil {
+		Zero(out)
+		cm.Apply(in, out, stats)
+		return
+	}
+	size := regionLen(out)
+	if spans := tileSpans(size, applyWorkers(), TileSize()); spans != nil && size >= FanoutMinBytes() {
+		if err := DefaultWorkers().Run(len(spans), func(i int) error {
+			cm.prog.RunOverwrite(in, out, spans[i][0], spans[i][1])
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+	} else {
+		cm.prog.RunOverwrite(in, out, 0, size)
+	}
+	stats.AddMultXORs(int64(cm.nnz))
 }
 
 // chainSpan runs the Normal sequence over [lo, hi) with the
@@ -194,13 +242,24 @@ func chainSpan(finv, s *CompiledMatrix, in, out, scratch [][]byte, lo, hi int) {
 			}
 			outs[i] = out[i][t:te]
 		}
-		Zero(mid)
-		for i, kern := range s.kerns {
-			kern.MultXOR(mid[i], views)
+		// Both stages fully overwrite their destinations, so when a stage
+		// carries an XOR program its overwrite run replaces the zeroing
+		// pass and the row kernels for that tile.
+		if s.prog != nil {
+			s.prog.RunOverwrite(views, mid, 0, n)
+		} else {
+			Zero(mid)
+			for i, kern := range s.kerns {
+				kern.MultXOR(mid[i], views)
+			}
 		}
-		Zero(outs)
-		for i, kern := range finv.kerns {
-			kern.MultXOR(outs[i], mid)
+		if finv.prog != nil {
+			finv.prog.RunOverwrite(mid, outs, 0, n)
+		} else {
+			Zero(outs)
+			for i, kern := range finv.kerns {
+				kern.MultXOR(outs[i], mid)
+			}
 		}
 	}
 	sb.Release()
@@ -217,8 +276,7 @@ func chainSpan(finv, s *CompiledMatrix, in, out, scratch [][]byte, lo, hi int) {
 func CompiledProduct(finv, s, g *CompiledMatrix, in, out, scratch [][]byte, seq Sequence, stats *Stats) {
 	switch seq {
 	case MatrixFirst:
-		Zero(out)
-		g.Apply(in, out, stats)
+		g.ApplyOverwrite(in, out, stats)
 	case Normal:
 		s.checkShape(in, scratchOrOut(scratch, out))
 		finv.checkShape(scratchOrOut(scratch, out), out)
@@ -251,8 +309,12 @@ func CompiledProductRange(finv, s, g *CompiledMatrix, in, out, scratch [][]byte,
 	switch seq {
 	case MatrixFirst:
 		g.checkShape(in, out)
-		ZeroRange(out, lo, hi)
-		g.applySpan(in, out, lo, hi)
+		if g.prog != nil {
+			g.prog.RunOverwrite(in, out, lo, hi)
+		} else {
+			ZeroRange(out, lo, hi)
+			g.applySpan(in, out, lo, hi)
+		}
 		stats.AddMultXORs(int64(g.nnz))
 	case Normal:
 		s.checkShape(in, scratchOrOut(scratch, out))

@@ -57,6 +57,53 @@ func BenchmarkKernelRegions(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelXorplan is the no-GFNI before/after pair for the
+// XOR-program backend, recorded as the xorplan_pairs series of
+// BENCH_kernel.json. Both arms run with the affine kernels forced off
+// — the hardware class the backend exists for — over the same
+// SD/RS-shaped decode matrix and regions:
+//
+//   - portable_*: the compiled tiled path on the scalar table row
+//     kernels, today's best no-GFNI path.
+//   - xorplan_*: the same matrix compiled with the XOR program
+//     attached — polynomial-ring lowering, CSE/Prim scheduling, fused
+//     AVX2/AVX-512 XOR execution.
+func BenchmarkKernelXorplan(b *testing.B) {
+	rng := rand.New(rand.NewSource(422))
+	defer gf.SetAffineKernels(gf.SetAffineKernels(false))
+	for _, f := range []gf.Field{gf.GF8, gf.GF16, gf.GF32} {
+		for _, sz := range []struct {
+			name  string
+			bytes int
+		}{
+			{"4KiB", 4 << 10},
+			{"128KiB", 128 << 10},
+			{"8MiB", 8 << 20},
+		} {
+			m := randMatrix(rng, f, 4, 12)
+			in := randRegions(rng, 12, sz.bytes)
+			out := AllocRegions(4, sz.bytes)
+			cmOff, cmOn := compilePair(f, m)
+			if cmOn.XORProgram() == nil {
+				b.Fatal("forced compile carries no program")
+			}
+			total := int64(16 * sz.bytes)
+			b.Run(fmt.Sprintf("portable_gf%d_%s", f.W(), sz.name), func(b *testing.B) {
+				b.SetBytes(total)
+				for i := 0; i < b.N; i++ {
+					cmOff.Apply(in, out, nil)
+				}
+			})
+			b.Run(fmt.Sprintf("xorplan_gf%d_%s", f.W(), sz.name), func(b *testing.B) {
+				b.SetBytes(total)
+				for i := 0; i < b.N; i++ {
+					cmOn.Apply(in, out, nil)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelProductChain isolates what tile-chaining buys the
 // Normal sequence: the two-pass form materialises the full-size
 // intermediate S*BS, the chained form streams it through tile-sized

@@ -11,6 +11,10 @@ func TestHotAllocFixture(t *testing.T) {
 	RunFixture(t, ".", HotAlloc, "hotalloc/a")
 }
 
+func TestHotAllocXorplanFixture(t *testing.T) {
+	RunFixture(t, ".", HotAlloc, "hotalloc/xp")
+}
+
 func TestFaultFreeFixture(t *testing.T) {
 	RunFixture(t, ".", FaultFree, "faultfree/a")
 }
@@ -25,6 +29,25 @@ func TestRegionArgsFixture(t *testing.T) {
 
 func TestStatsAccountFixture(t *testing.T) {
 	RunFixture(t, ".", StatsAccount, "statsaccount/a")
+}
+
+func TestStatsAccountXorplanFixture(t *testing.T) {
+	RunFixture(t, ".", StatsAccount, "statsaccount/xp")
+}
+
+// TestStatsAccountScope pins the implementing packages out of scope:
+// gf and xorplan provide the primitives, everyone else accounts them.
+func TestStatsAccountScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"ppm/internal/kernel":  true,
+		"ppm/internal/core":    true,
+		"ppm/internal/gf":      false,
+		"ppm/internal/xorplan": false,
+	} {
+		if got := statsAccountMatch(path); got != want {
+			t.Errorf("statsAccountMatch(%q) = %v, want %v", path, got, want)
+		}
+	}
 }
 
 func TestNoCopyLockFixture(t *testing.T) {

@@ -23,11 +23,13 @@ var StatsAccount = &Analyzer{
 	Run:   runStatsAccount,
 }
 
-// statsAccountMatch skips the gf package itself (it implements the
-// primitives) — everything else that reaches them is in scope.
+// statsAccountMatch skips the gf and xorplan packages themselves (they
+// implement the primitives) — everything else that reaches them is in
+// scope.
 func statsAccountMatch(pkgPath string) bool {
 	base := pathBase(pkgPath)
-	return base != "gf" && !strings.HasSuffix(base, "gf_test")
+	return base != "gf" && !strings.HasSuffix(base, "gf_test") &&
+		base != "xorplan" && !strings.HasSuffix(base, "xorplan_test")
 }
 
 func runStatsAccount(pass *Pass) {
@@ -54,7 +56,7 @@ func checkStatsAccounting(pass *Pass, fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		if name, _, ok := isGFMethod(pass, call); ok {
+		if name, ok := regionOpCall(pass, call); ok {
 			if firstOp == nil {
 				firstOp, opName = call, name
 			}
@@ -73,6 +75,25 @@ func checkStatsAccounting(pass *Pass, fd *ast.FuncDecl) {
 			"%s performs region operations (%s) without ticking Stats.MultXORs; add stats.AddMultXORs in this function or annotate it //ppm:counted <who accounts>",
 			fd.Name.Name, opName)
 	}
+}
+
+// regionOpCall reports whether the call is a region primitive in scope
+// for accounting: a gf region method, or an xorplan compiled-program
+// run (each executes the full per-coefficient XOR work of its matrix,
+// so a caller owes the same Stats.MultXORs tick the kernels would).
+func regionOpCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if name, _, ok := isGFMethod(pass, call); ok {
+		return name, true
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "xorplan" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "RunOverwrite", "RunAccumulate":
+		return fn.Name(), true
+	}
+	return "", false
 }
 
 // isTestFile reports whether the file is a _test.go file.

@@ -1,0 +1,48 @@
+// Package xp is the hotalloc fixture for the XOR-program executor
+// idiom: the annotated run loop must stay allocation-free by reslicing
+// pooled backing storage, while the un-annotated exported wrapper is
+// free to validate and panic (panic boxes its argument, so it lives
+// outside the hot region).
+package xp
+
+// program mirrors the shape of a compiled XOR program's executor.
+type program struct{ nslots, tile int }
+
+type runState struct {
+	backing []byte
+	slots   [][]byte
+}
+
+// RunOverwrite is the cold entry point: shape checks and their boxing
+// panics stay here, outside any //ppm:hotpath region.
+func (p *program) RunOverwrite(in, out [][]byte, lo, hi int) {
+	if lo < 0 || hi < lo {
+		panic("xorplan: bad range")
+	}
+	st := &runState{backing: make([]byte, p.nslots*p.tile)}
+	p.run(st, in, out, lo, hi)
+}
+
+// run is the hot loop: reslicing pooled backing is fine, growing it is
+// not.
+//
+//ppm:hotpath
+func (p *program) run(st *runState, in, out [][]byte, lo, hi int) {
+	for s := 0; s < p.nslots; s++ {
+		o := s * p.tile
+		st.slots[s] = st.backing[o : o+p.tile : o+p.tile]
+	}
+	for t := lo; t < hi; t += p.tile {
+		_ = st.slots[0][0]
+	}
+}
+
+// badRun regrows its arena per call inside the hot region: flagged.
+//
+//ppm:hotpath
+func (p *program) badRun(st *runState, lo, hi int) {
+	st.backing = make([]byte, p.nslots*p.tile) // want "make allocates in a hot path"
+	for t := lo; t < hi; t += p.tile {
+		st.slots = append(st.slots, st.backing[t:t+p.tile]) // want "append may grow"
+	}
+}

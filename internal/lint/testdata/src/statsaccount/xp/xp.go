@@ -1,0 +1,35 @@
+// Package xp is the statsaccount fixture for the XOR-program backend:
+// running a compiled program does the same paper-cost work as the gf
+// kernels it replaces, so callers owe the same accounting.
+package xp
+
+import "xorplan"
+
+// Stats mirrors the kernel's operation counter shape.
+type Stats struct{ n int64 }
+
+// AddMultXORs records n operations.
+func (s *Stats) AddMultXORs(n int64) { s.n += n }
+
+// accounted ticks the counter in the same body: clean.
+func accounted(p *xorplan.Program, in, out [][]byte, stats *Stats, nnz int64) {
+	p.RunOverwrite(in, out, 0, len(out[0]))
+	stats.AddMultXORs(nnz)
+}
+
+// unaccounted runs a program and never ticks: flagged.
+func unaccounted(p *xorplan.Program, in, out [][]byte) {
+	p.RunAccumulate(in, out, 0, len(out[0])) // want "unaccounted performs region operations .RunAccumulate. without ticking Stats.MultXORs"
+}
+
+// counted delegates accounting to its caller, and says so.
+//
+//ppm:counted accounted-by-caller: Apply adds the matrix NNZ once per application
+func counted(p *xorplan.Program, in, out [][]byte, lo, hi int) {
+	p.RunOverwrite(in, out, lo, hi)
+}
+
+// noOps never runs a program: out of scope.
+func noOps(stats *Stats) {
+	stats.AddMultXORs(0)
+}

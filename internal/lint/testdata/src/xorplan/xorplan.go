@@ -1,0 +1,14 @@
+// Package xorplan is a fixture stub mirroring the compiled XOR-program
+// runner in the real internal/xorplan: the statsaccount analyzer
+// matches its Run* entry points by package and method name, the same
+// way it matches the gf region primitives.
+package xorplan
+
+// Program is the stub compiled XOR program.
+type Program struct{}
+
+// RunOverwrite executes the program over [lo,hi), overwriting out.
+func (p *Program) RunOverwrite(in, out [][]byte, lo, hi int) {}
+
+// RunAccumulate executes the program over [lo,hi), XORing into out.
+func (p *Program) RunAccumulate(in, out [][]byte, lo, hi int) {}

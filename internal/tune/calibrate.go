@@ -10,6 +10,7 @@ import (
 	"ppm/internal/kernel"
 	"ppm/internal/pipeline"
 	"ppm/internal/stripe"
+	"ppm/internal/xorplan"
 )
 
 // Options bounds a calibration run. The zero value is the quick
@@ -29,6 +30,10 @@ type Options struct {
 	// FanoutSector is the sector size of the fan-out sweep stripe
 	// (default 2 MiB, so every candidate threshold is crossed).
 	FanoutSector int
+	// XorplanArenas are the XOR-program arena-budget candidates
+	// (default 64 KiB – 1 MiB). The sweep only runs when the xorplan
+	// backend is active (kernel.XorplanActive).
+	XorplanArenas []int
 	// Iters is the timed runs per candidate, best kept (default 2,
 	// plus one warm-up).
 	Iters int
@@ -57,6 +62,9 @@ func (o *Options) defaults() {
 	}
 	if o.FanoutSector <= 0 {
 		o.FanoutSector = 2 << 20
+	}
+	if len(o.XorplanArenas) == 0 {
+		o.XorplanArenas = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
 	}
 	if o.Iters <= 0 {
 		o.Iters = 2
@@ -125,13 +133,18 @@ func Calibrate(o Options) (*Profile, error) {
 	}
 
 	prevTile, prevFanout := kernel.TileSize(), kernel.FanoutMinBytes()
+	prevArena := xorplan.ArenaBudget()
 	defer func() {
 		kernel.SetTileSize(prevTile)
 		kernel.SetFanoutMinBytes(prevFanout)
+		xorplan.SetArenaBudget(prevArena)
 	}()
 
 	if err := sweepTile(o, p); err != nil {
 		return nil, fmt.Errorf("tune: tile sweep: %w", err)
+	}
+	if err := sweepXorplanArena(o, p); err != nil {
+		return nil, fmt.Errorf("tune: xorplan arena sweep: %w", err)
 	}
 	if err := sweepFanout(o, p); err != nil {
 		return nil, fmt.Errorf("tune: fan-out sweep: %w", err)
@@ -190,6 +203,49 @@ func sweepTile(o Options, p *Profile) error {
 	}
 	p.TileBytes = bestTile
 	p.Scores.TileMBs = bytesPerDecode / 1e6 / bestD.Seconds()
+	return nil
+}
+
+// sweepXorplanArena times the same kernel-bound rebuild at each
+// XOR-program arena budget. Programs read the budget per run, so one
+// prebuilt plan serves every candidate. Skipped (budget recorded as 0)
+// when the xorplan backend is inactive — the knob then changes nothing.
+func sweepXorplanArena(o Options, p *Profile) error {
+	if !kernel.XorplanActive() {
+		p.XorplanArenaBytes = 0
+		return nil
+	}
+	kernel.SetTileSize(p.TileBytes)
+	c, sc, err := calCode(4)
+	if err != nil {
+		return err
+	}
+	st, err := stripe.New(c.NumStrips(), c.NumRows(), o.TileSector)
+	if err != nil {
+		return err
+	}
+	st.FillRandom(3)
+	plan, err := core.BuildPlan(c, sc, core.StrategyPPM)
+	if err != nil {
+		return err
+	}
+	dec := core.NewDecoder(c, core.WithThreads(1))
+	bytesPerDecode := float64(len(sc.Faulty)) * float64(o.TileSector)
+
+	var bestArena int
+	var bestD time.Duration
+	for _, arena := range o.XorplanArenas {
+		xorplan.SetArenaBudget(arena)
+		d, err := bestOf(o.Iters, func() error { return dec.DecodeWithPlan(plan, st) })
+		if err != nil {
+			return err
+		}
+		if bestD == 0 || d < bestD {
+			bestD, bestArena = d, arena
+		}
+	}
+	p.XorplanArenaBytes = bestArena
+	p.Scores.XorplanMBs = bytesPerDecode / 1e6 / bestD.Seconds()
 	return nil
 }
 

@@ -29,11 +29,13 @@ import (
 
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
+	"ppm/internal/xorplan"
 )
 
 // Version is the profile schema version; profiles with another version
 // (or recorded on a host with a different core count) are recalibrated.
-const Version = 1
+// v2 added the xorplan arena-budget knob.
+const Version = 2
 
 // EnvDir overrides the profile cache directory; EnvDisable ("off" or
 // "0") disables autotuning entirely — Auto configs fall back to the
@@ -65,6 +67,9 @@ type Scores struct {
 	// StoreStripesS is the latency-modelled pipeline throughput at the
 	// winning depth.
 	StoreStripesS float64 `json:"store_stripes_s"`
+	// XorplanMBs is the decode throughput at the winning XOR-program
+	// arena budget (zero when the backend was inactive at calibration).
+	XorplanMBs float64 `json:"xorplan_mb_s,omitempty"`
 }
 
 // Profile is one host's calibrated knob settings. Apply installs the
@@ -85,6 +90,10 @@ type Profile struct {
 	Workers int `json:"workers"`
 	// PoolSize is the engine count for many-stream serving pools.
 	PoolSize int `json:"pool_size"`
+	// XorplanArenaBytes is the XOR-program temp-arena budget
+	// (xorplan.SetArenaBudget); zero means the sweep was skipped because
+	// the backend was inactive, and the default budget stands.
+	XorplanArenaBytes int `json:"xorplan_arena_bytes,omitempty"`
 
 	Scores Scores `json:"scores"`
 }
@@ -120,6 +129,9 @@ func Apply(p *Profile) {
 	}
 	kernel.SetTileSize(p.TileBytes)
 	kernel.SetFanoutMinBytes(p.FanoutMinBytes)
+	if p.XorplanArenaBytes > 0 {
+		xorplan.SetArenaBudget(p.XorplanArenaBytes)
+	}
 }
 
 // Dir returns the profile cache directory: PPM_TUNE_DIR, or the user

@@ -1,0 +1,105 @@
+package xorplan
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// DefaultCacheSize bounds the compiled-program LRU. Programs are a few
+// KiB each; 256 covers every matrix a realistic code family compiles
+// (per-stripe decode matrices included) without unbounded growth.
+const DefaultCacheSize = 256
+
+// The cache key is the exact encoded matrix — width, dimensions and
+// every coefficient — not a digest, so distinct matrices can never
+// collide into the wrong program.
+func cacheKey(f gf.Field, m *matrix.Matrix) string {
+	rows, cols := m.Rows(), m.Cols()
+	buf := make([]byte, 0, 12+4*rows*cols)
+	var u [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u[:], v)
+		buf = append(buf, u[:]...)
+	}
+	put(uint32(f.W()))
+	put(uint32(rows))
+	put(uint32(cols))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			put(m.At(i, j))
+		}
+	}
+	return string(buf)
+}
+
+type cacheEntry struct {
+	key  string
+	prog *Program
+}
+
+var progCache = struct {
+	mu           sync.Mutex
+	byKey        map[string]*list.Element
+	order        *list.List // front = most recently used
+	cap          int
+	hits, misses atomic.Int64
+}{
+	byKey: make(map[string]*list.Element),
+	order: list.New(),
+	cap:   DefaultCacheSize,
+}
+
+// CompileCached returns the compiled program for (f, m), memoizing
+// compilations in a process-wide LRU. The returned Program is shared
+// and immutable; concurrent callers may race to compile the same key,
+// in which case one result wins and the others are dropped.
+func CompileCached(f gf.Field, m *matrix.Matrix) (*Program, error) {
+	key := cacheKey(f, m)
+	c := &progCache
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		prog := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return prog, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	prog, err := Compile(f, m)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok { // lost a compile race: keep the incumbent
+		c.order.MoveToFront(el)
+		prog = el.Value.(*cacheEntry).prog
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, prog: prog})
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return prog, nil
+}
+
+// CacheStats returns the cumulative hit and miss counts of
+// CompileCached since process start (or the last ResetCacheStats).
+func CacheStats() (hits, misses int64) {
+	return progCache.hits.Load(), progCache.misses.Load()
+}
+
+// ResetCacheStats zeroes the hit/miss counters. Test seam — the cached
+// programs themselves stay resident.
+func ResetCacheStats() {
+	progCache.hits.Store(0)
+	progCache.misses.Store(0)
+}

@@ -1,0 +1,190 @@
+package xorplan
+
+import "sync"
+
+// runState is the pooled per-run temp arena: one backing array of
+// nslots × tile bytes, resliced into slot views per tile. The pool is
+// the same capacity-check idiom as the kernel viewArena — entries are
+// reused when big enough and regrown in place when not, so
+// steady-state runs allocate nothing.
+type runState struct {
+	backing []byte
+	slots   [][]byte
+}
+
+var runPool = sync.Pool{New: func() interface{} { return new(runState) }}
+
+// getRunState is called once per run, not per tile: the warm-up
+// regrows and the pool boxing are amortized, so it stays outside the
+// //ppm:hotpath region like the kernel's getViewArena.
+func getRunState(nslots, tile int) *runState {
+	st := runPool.Get().(*runState)
+	if need := nslots * tile; cap(st.backing) < need {
+		st.backing = make([]byte, need)
+	} else {
+		st.backing = st.backing[:need]
+	}
+	if cap(st.slots) < nslots {
+		st.slots = make([][]byte, nslots)
+	} else {
+		st.slots = st.slots[:nslots]
+	}
+	return st
+}
+
+func (st *runState) release() {
+	for i := range st.slots {
+		st.slots[i] = nil
+	}
+	runPool.Put(st)
+}
+
+// RunOverwrite executes the program over the byte range [lo, hi),
+// fully overwriting out: out[i][lo:hi] = Σ_j a_ij · in[j][lo:hi].
+// Callers skip any zeroing pass — derivative-scheduled programs only
+// run in this mode. in must hold Cols regions and out Rows regions,
+// all word-aligned and at least hi bytes long; hi-lo must be a
+// multiple of the word size. Safe for concurrent calls on disjoint
+// ranges: mutable state is a pooled per-call arena.
+func (p *Program) RunOverwrite(in, out [][]byte, lo, hi int) {
+	p.checkShape(in, out, lo, hi)
+	p.run(in, out, lo, hi, false)
+}
+
+// RunAccumulate executes the program over [lo, hi) in accumulate mode:
+// out[i][lo:hi] ^= Σ_j a_ij · in[j][lo:hi]. Panics on a derivative
+// program — row-to-row copies are only sound when out is owned by the
+// program, so callers gate on HasDerivative.
+func (p *Program) RunAccumulate(in, out [][]byte, lo, hi int) {
+	if p.derivative {
+		panic("xorplan: RunAccumulate on a derivative-scheduled program; gate on HasDerivative")
+	}
+	p.checkShape(in, out, lo, hi)
+	p.run(in, out, lo, hi, true)
+}
+
+func (p *Program) checkShape(in, out [][]byte, lo, hi int) {
+	if len(in) != p.cols || len(out) != p.rows {
+		panic("xorplan: region count does not match the compiled matrix")
+	}
+	if lo < 0 || hi < lo {
+		panic("xorplan: invalid byte range")
+	}
+	if (hi-lo)%(p.w/8) != 0 {
+		panic("xorplan: byte range is not a whole number of words")
+	}
+}
+
+// run sweeps [lo, hi) in arena-budget tiles: per tile, materialise the
+// derived-source chains and CSE temps into the slot arena, then fuse
+// each output row's XOR set through the widest kernels. References
+// were bounds-checked at compile time; the loop carries no checks.
+//
+//ppm:hotpath
+func (p *Program) run(in, out [][]byte, lo, hi int, accumulate bool) {
+	if lo >= hi {
+		return
+	}
+	tile := p.TileBytes()
+	st := getRunState(p.nslots, tile)
+	slots := st.slots
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		n := te - t
+		for s := range slots {
+			o := s * tile
+			slots[s] = st.backing[o : o+n : o+n]
+		}
+		for _, ins := range p.instrs {
+			a := pick(slots, in, ins.a, t, te)
+			if ins.kind == opXtimes {
+				xtimesRegion(p.w, slots[ins.dst], a)
+			} else {
+				xorSet2(slots[ins.dst], a, pick(slots, in, ins.b, t, te))
+			}
+		}
+		for i := range p.outs {
+			runOut(&p.outs[i], out, slots, in, t, te, accumulate)
+		}
+	}
+	st.release()
+}
+
+// pick resolves a source reference: arena slot when >= 0, input region
+// window when negative.
+//
+//ppm:hotpath
+func pick(slots, in [][]byte, ref int32, t, te int) []byte {
+	if ref >= 0 {
+		return slots[ref]
+	}
+	return in[int(^ref)][t:te]
+}
+
+// runOut computes one output window. Overwrite mode seeds the
+// destination with the widest set kernel (or the derivative parent
+// copy); both modes then drain the remaining sources through the
+// accumulate kernels, four per pass.
+//
+//ppm:hotpath
+func runOut(op *outOp, out, slots, in [][]byte, t, te int, accumulate bool) {
+	dst := out[op.dst][t:te]
+	srcs := op.srcs
+	if !accumulate {
+		if op.from >= 0 {
+			parent := out[op.from][t:te]
+			switch len(srcs) {
+			case 0:
+				copy(dst, parent)
+			case 1:
+				xorSet2(dst, parent, pick(slots, in, srcs[0], t, te))
+				srcs = srcs[1:]
+			case 2:
+				xorSet3(dst, parent, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te))
+				srcs = srcs[2:]
+			default:
+				xorSet4(dst, parent, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te))
+				srcs = srcs[3:]
+			}
+		} else {
+			switch len(srcs) {
+			case 0:
+				zeroRegion(dst)
+			case 1:
+				copy(dst, pick(slots, in, srcs[0], t, te))
+				srcs = srcs[1:]
+			case 2:
+				xorSet2(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te))
+				srcs = srcs[2:]
+			case 3:
+				xorSet3(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te))
+				srcs = srcs[3:]
+			case 4:
+				xorSet4(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te), pick(slots, in, srcs[3], t, te))
+				srcs = srcs[4:]
+			default:
+				xorSet5(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te), pick(slots, in, srcs[3], t, te), pick(slots, in, srcs[4], t, te))
+				srcs = srcs[5:]
+			}
+		}
+	}
+	for len(srcs) > 0 {
+		switch len(srcs) {
+		case 1:
+			xorAcc1(dst, pick(slots, in, srcs[0], t, te))
+			srcs = nil
+		case 2:
+			xorAcc2(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te))
+			srcs = nil
+		case 3:
+			xorAcc3(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te))
+			srcs = nil
+		default:
+			xorAcc4(dst, pick(slots, in, srcs[0], t, te), pick(slots, in, srcs[1], t, te), pick(slots, in, srcs[2], t, te), pick(slots, in, srcs[3], t, te))
+			srcs = srcs[4:]
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package xorplan
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are skipped under -race: the detector
+// defeats sync.Pool reuse by design, so pooled paths report spurious
+// allocations there.
+const raceEnabled = false

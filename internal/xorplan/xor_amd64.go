@@ -1,0 +1,28 @@
+//go:build amd64
+
+package xorplan
+
+// Vector XOR kernels, implemented in xor_amd64.s. For every kernel n
+// must be positive and a multiple of 64; callers peel the sub-64-byte
+// tail onto the portable word sweeps. dst may exactly alias any
+// source: each 64-byte block's sources are loaded before the block is
+// stored. The AVX-512 forms need F+BW (one ZMM per block); the AVX2
+// forms need only AVX2 (two YMM per block). Both end in VZEROUPPER so
+// mixed SSE code pays no transition penalty.
+
+func xor2AVX2(dst, a, b *byte, n int)
+func xor3AVX2(dst, a, b, c *byte, n int)
+func xor4AVX2(dst, a, b, c, d *byte, n int)
+func xor5AVX2(dst, a, b, c, d, e *byte, n int)
+
+// Vectorized xtimes passes (xtimes_amd64.s): dst = x ⊗ src lane-wise
+// by sign-mask doubling, same n-multiple-of-64 and exact-alias
+// contract. AVX2 only — one form serves both vector levels.
+func xtimes8AVX2(dst, src *byte, n int)
+func xtimes16AVX2(dst, src *byte, n int)
+func xtimes32AVX2(dst, src *byte, n int)
+
+func xor2AVX512(dst, a, b *byte, n int)
+func xor3AVX512(dst, a, b, c *byte, n int)
+func xor4AVX512(dst, a, b, c, d *byte, n int)
+func xor5AVX512(dst, a, b, c, d, e *byte, n int)

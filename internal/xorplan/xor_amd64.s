@@ -1,0 +1,214 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Fused multi-source XOR kernels: dst = s1 ^ ... ^ sK, 64 bytes per
+// iteration. n must be positive and a multiple of 64. The AVX-512
+// forms use one ZMM per block; the AVX2 forms use two YMM. Sources are
+// fully loaded before the store, so dst may exactly alias any source.
+
+// func xor2AVX512(dst, a, b *byte, n int)
+TEXT ·xor2AVX512(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+
+loop2z:
+	VMOVDQU64 (SI), Z0
+	VPXORQ    (DX), Z0, Z0
+	VMOVDQU64 Z0, (DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DX
+	ADDQ      $64, DI
+	SUBQ      $64, CX
+	JNE       loop2z
+	VZEROUPPER
+	RET
+
+// func xor3AVX512(dst, a, b, c *byte, n int)
+TEXT ·xor3AVX512(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ n+32(FP), CX
+
+loop3z:
+	VMOVDQU64 (SI), Z0
+	VPXORQ    (DX), Z0, Z0
+	VPXORQ    (R8), Z0, Z0
+	VMOVDQU64 Z0, (DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DX
+	ADDQ      $64, R8
+	ADDQ      $64, DI
+	SUBQ      $64, CX
+	JNE       loop3z
+	VZEROUPPER
+	RET
+
+// func xor4AVX512(dst, a, b, c, d *byte, n int)
+TEXT ·xor4AVX512(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ d+32(FP), R9
+	MOVQ n+40(FP), CX
+
+loop4z:
+	VMOVDQU64 (SI), Z0
+	VPXORQ    (DX), Z0, Z0
+	VPXORQ    (R8), Z0, Z0
+	VPXORQ    (R9), Z0, Z0
+	VMOVDQU64 Z0, (DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DX
+	ADDQ      $64, R8
+	ADDQ      $64, R9
+	ADDQ      $64, DI
+	SUBQ      $64, CX
+	JNE       loop4z
+	VZEROUPPER
+	RET
+
+// func xor5AVX512(dst, a, b, c, d, e *byte, n int)
+TEXT ·xor5AVX512(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ d+32(FP), R9
+	MOVQ e+40(FP), R10
+	MOVQ n+48(FP), CX
+
+loop5z:
+	VMOVDQU64 (SI), Z0
+	VPXORQ    (DX), Z0, Z0
+	VPXORQ    (R8), Z0, Z0
+	VPXORQ    (R9), Z0, Z0
+	VPXORQ    (R10), Z0, Z0
+	VMOVDQU64 Z0, (DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DX
+	ADDQ      $64, R8
+	ADDQ      $64, R9
+	ADDQ      $64, R10
+	ADDQ      $64, DI
+	SUBQ      $64, CX
+	JNE       loop5z
+	VZEROUPPER
+	RET
+
+// func xor2AVX2(dst, a, b *byte, n int)
+TEXT ·xor2AVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+
+loop2y:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DX), Y0, Y0
+	VPXOR   32(DX), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DX
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     loop2y
+	VZEROUPPER
+	RET
+
+// func xor3AVX2(dst, a, b, c *byte, n int)
+TEXT ·xor3AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ n+32(FP), CX
+
+loop3y:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DX), Y0, Y0
+	VPXOR   32(DX), Y1, Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DX
+	ADDQ    $64, R8
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     loop3y
+	VZEROUPPER
+	RET
+
+// func xor4AVX2(dst, a, b, c, d *byte, n int)
+TEXT ·xor4AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ d+32(FP), R9
+	MOVQ n+40(FP), CX
+
+loop4y:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DX), Y0, Y0
+	VPXOR   32(DX), Y1, Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VPXOR   (R9), Y0, Y0
+	VPXOR   32(R9), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DX
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     loop4y
+	VZEROUPPER
+	RET
+
+// func xor5AVX2(dst, a, b, c, d, e *byte, n int)
+TEXT ·xor5AVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), R8
+	MOVQ d+32(FP), R9
+	MOVQ e+40(FP), R10
+	MOVQ n+48(FP), CX
+
+loop5y:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DX), Y0, Y0
+	VPXOR   32(DX), Y1, Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VPXOR   (R9), Y0, Y0
+	VPXOR   32(R9), Y1, Y1
+	VPXOR   (R10), Y0, Y0
+	VPXOR   32(R10), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DX
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, R10
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     loop5y
+	VZEROUPPER
+	RET

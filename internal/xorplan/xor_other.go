@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package xorplan
+
+// Off amd64 vecLevel is always gf.VecNone, so these are unreachable;
+// they exist so xor.go compiles on every GOARCH.
+
+func xor2AVX2(dst, a, b *byte, n int)       { panic("xorplan: no vector kernels") }
+func xor3AVX2(dst, a, b, c *byte, n int)    { panic("xorplan: no vector kernels") }
+func xor4AVX2(dst, a, b, c, d *byte, n int) { panic("xorplan: no vector kernels") }
+func xor5AVX2(dst, a, b, c, d, e *byte, n int) {
+	panic("xorplan: no vector kernels")
+}
+
+func xtimes8AVX2(dst, src *byte, n int)  { panic("xorplan: no vector kernels") }
+func xtimes16AVX2(dst, src *byte, n int) { panic("xorplan: no vector kernels") }
+func xtimes32AVX2(dst, src *byte, n int) { panic("xorplan: no vector kernels") }
+
+func xor2AVX512(dst, a, b *byte, n int)       { panic("xorplan: no vector kernels") }
+func xor3AVX512(dst, a, b, c *byte, n int)    { panic("xorplan: no vector kernels") }
+func xor4AVX512(dst, a, b, c, d *byte, n int) { panic("xorplan: no vector kernels") }
+func xor5AVX512(dst, a, b, c, d, e *byte, n int) {
+	panic("xorplan: no vector kernels")
+}

@@ -1,0 +1,111 @@
+package xorplan
+
+import (
+	"encoding/binary"
+
+	"ppm/internal/gf"
+)
+
+// SWAR "xtimes" passes: dst = x ⊗ src lane-wise over a region in the
+// native little-endian word-interleaved layout. Each pass shifts every
+// w-bit lane left by one and reduces lanes that overflow by the field
+// polynomial — eight lanes (w=8), four (w=16) or two (w=32) per 64-bit
+// word. The mask-multiply trick stays in-lane because the reduced
+// polynomial (0x1D, 0x100B, 0x400007) times a lane's 1-bit never
+// carries across the lane boundary.
+//
+// dst and src must be the same length, a multiple of w/8 bytes; exact
+// aliasing (dst == src) is allowed — each word is read before it is
+// written — which is how chains run in place.
+
+// xtimesRegion dispatches on word width.
+//
+//ppm:hotpath
+func xtimesRegion(w int, dst, src []byte) {
+	switch w {
+	case 8:
+		xtimes8(dst, src)
+	case 16:
+		xtimes16(dst, src)
+	default:
+		xtimes32(dst, src)
+	}
+}
+
+// xtimes8 reduces by x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+//
+//ppm:hotpath
+func xtimes8(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	if m := n &^ 63; m > 0 && vecLevel >= gf.VecAVX2 {
+		xtimes8AVX2(&dst[0], &src[0], m)
+		i = m
+	}
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:])
+		hi := v & 0x8080808080808080
+		v = ((v ^ hi) << 1) ^ ((hi >> 7) * 0x1D)
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		b := src[i]
+		d := b << 1
+		if b&0x80 != 0 {
+			d ^= 0x1D
+		}
+		dst[i] = d
+	}
+}
+
+// xtimes16 reduces by x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+//ppm:hotpath
+func xtimes16(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	if m := n &^ 63; m > 0 && vecLevel >= gf.VecAVX2 {
+		xtimes16AVX2(&dst[0], &src[0], m)
+		i = m
+	}
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:])
+		hi := v & 0x8000800080008000
+		v = ((v ^ hi) << 1) ^ ((hi >> 15) * 0x100B)
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i += 2 {
+		b := binary.LittleEndian.Uint16(src[i:])
+		d := b << 1
+		if b&0x8000 != 0 {
+			d ^= 0x100B
+		}
+		binary.LittleEndian.PutUint16(dst[i:], d)
+	}
+}
+
+// xtimes32 reduces by x^32 + x^22 + x^2 + x + 1 (poly32low 0x00400007).
+//
+//ppm:hotpath
+func xtimes32(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	if m := n &^ 63; m > 0 && vecLevel >= gf.VecAVX2 {
+		xtimes32AVX2(&dst[0], &src[0], m)
+		i = m
+	}
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:])
+		hi := v & 0x8000000080000000
+		v = ((v ^ hi) << 1) ^ ((hi >> 31) * 0x400007)
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i += 4 {
+		b := binary.LittleEndian.Uint32(src[i:])
+		d := b << 1
+		if b&0x80000000 != 0 {
+			d ^= 0x400007
+		}
+		binary.LittleEndian.PutUint32(dst[i:], d)
+	}
+}

@@ -1,0 +1,105 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Vectorized xtimes passes: dst = x ⊗ src lane-wise, 64 bytes per
+// iteration, n positive and a multiple of 64 (callers peel the tail
+// onto the SWAR sweeps). The doubling is the classic sign-mask form:
+// lanes that will overflow have their top bit set, so a signed
+// compare-greater-than-zero yields an all-ones mask per overflowing
+// lane, which selects the reduction polynomial after the in-lane
+// shift. Sources are fully loaded before the store, so dst may exactly
+// alias src (in-place chain steps).
+
+DATA xtpoly8<>+0(SB)/1, $0x1D
+GLOBL xtpoly8<>(SB), RODATA|NOPTR, $1
+
+DATA xtpoly16<>+0(SB)/2, $0x100B
+GLOBL xtpoly16<>(SB), RODATA|NOPTR, $2
+
+DATA xtpoly32<>+0(SB)/4, $0x00400007
+GLOBL xtpoly32<>(SB), RODATA|NOPTR, $4
+
+// func xtimes8AVX2(dst, src *byte, n int)
+TEXT ·xtimes8AVX2(SB), NOSPLIT, $0-24
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPXOR        Y7, Y7, Y7
+	VPBROADCASTB xtpoly8<>(SB), Y8
+
+loop8:
+	VMOVDQU  (SI), Y0
+	VMOVDQU  32(SI), Y2
+	VPCMPGTB Y0, Y7, Y1 // Y1 = (0 > lane): all-ones where the top bit is set
+	VPCMPGTB Y2, Y7, Y3
+	VPADDB   Y0, Y0, Y0 // in-lane shift left by one
+	VPADDB   Y2, Y2, Y2
+	VPAND    Y8, Y1, Y1 // reduction polynomial where lanes overflowed
+	VPAND    Y8, Y3, Y3
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y3, Y2, Y2
+	VMOVDQU  Y0, (DI)
+	VMOVDQU  Y2, 32(DI)
+	ADDQ     $64, SI
+	ADDQ     $64, DI
+	SUBQ     $64, CX
+	JNE      loop8
+	VZEROUPPER
+	RET
+
+// func xtimes16AVX2(dst, src *byte, n int)
+TEXT ·xtimes16AVX2(SB), NOSPLIT, $0-24
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPXOR        Y7, Y7, Y7
+	VPBROADCASTW xtpoly16<>(SB), Y8
+
+loop16:
+	VMOVDQU  (SI), Y0
+	VMOVDQU  32(SI), Y2
+	VPCMPGTW Y0, Y7, Y1
+	VPCMPGTW Y2, Y7, Y3
+	VPADDW   Y0, Y0, Y0
+	VPADDW   Y2, Y2, Y2
+	VPAND    Y8, Y1, Y1
+	VPAND    Y8, Y3, Y3
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y3, Y2, Y2
+	VMOVDQU  Y0, (DI)
+	VMOVDQU  Y2, 32(DI)
+	ADDQ     $64, SI
+	ADDQ     $64, DI
+	SUBQ     $64, CX
+	JNE      loop16
+	VZEROUPPER
+	RET
+
+// func xtimes32AVX2(dst, src *byte, n int)
+TEXT ·xtimes32AVX2(SB), NOSPLIT, $0-24
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPXOR        Y7, Y7, Y7
+	VPBROADCASTD xtpoly32<>(SB), Y8
+
+loop32:
+	VMOVDQU  (SI), Y0
+	VMOVDQU  32(SI), Y2
+	VPCMPGTD Y0, Y7, Y1
+	VPCMPGTD Y2, Y7, Y3
+	VPADDD   Y0, Y0, Y0
+	VPADDD   Y2, Y2, Y2
+	VPAND    Y8, Y1, Y1
+	VPAND    Y8, Y3, Y3
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y3, Y2, Y2
+	VMOVDQU  Y0, (DI)
+	VMOVDQU  Y2, 32(DI)
+	ADDQ     $64, SI
+	ADDQ     $64, DI
+	SUBQ     $64, CX
+	JNE      loop32
+	VZEROUPPER
+	RET
