@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr chaos check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic bench-repair tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr chaos check clean
 
 all: check
 
@@ -48,6 +48,15 @@ bench-pipeline:
 # default 8-stream admission cap.
 bench-traffic:
 	$(GO) run ./cmd/benchpipeline -traffic -traffic-o BENCH_traffic.json
+
+# Record the repair-planner series: minimal-read repair fractions and
+# partial-vs-full decode timings per code, plus delta-parity-update
+# speedups over full re-encode, with every case differential-checked
+# byte-identical -> BENCH_repair.json plus a dated BENCH_history/ copy.
+# Fails if an LRC single-failure repair reads more than 60% of the
+# survivors, or a 128 KiB+ delta update is below 2x re-encode.
+bench-repair:
+	$(GO) run ./cmd/benchrepair -o BENCH_repair.json
 
 # Calibrate (or show) this host's tuning profile.
 tune:

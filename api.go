@@ -6,11 +6,13 @@ import (
 	"ppm/internal/array"
 	"ppm/internal/codes"
 	"ppm/internal/core"
+	"ppm/internal/cost"
 	"ppm/internal/decode"
 	"ppm/internal/fault"
 	"ppm/internal/gf"
 	"ppm/internal/kernel"
 	"ppm/internal/pipeline"
+	"ppm/internal/repair"
 	"ppm/internal/stripe"
 	"ppm/internal/tune"
 )
@@ -429,4 +431,33 @@ func FieldFor(sectors int) (int, error) {
 		return 0, err
 	}
 	return f.W(), nil
+}
+
+// RepairPlanner plans minimal-read repairs for one code instance:
+// which survivors to read and which compiled steps recover a wanted
+// sector set, LRU-cached per (scenario, wanted) pair.
+type RepairPlanner = repair.Planner
+
+// RepairPlan is a compiled minimal-read repair: its ReadCols/ReadDisks
+// name exactly the survivor sectors a caller must supply before
+// Execute (or ExecuteRange, for a byte sub-range) recovers the wanted
+// sectors in place.
+type RepairPlan = repair.Plan
+
+// RepairCost scores a repair plan: survivor sectors read (the
+// repair-bandwidth term, compared first) and mult_XORs (the
+// computational tiebreak).
+type RepairCost = cost.RepairCost
+
+// NewRepairPlanner builds a repair planner for the code. Plan(sc,
+// wanted) picks the cheapest survivor set per failure — an LRC local
+// group over the global parities, a minimized parity-check row when
+// one beats the partition.
+func NewRepairPlanner(c Code) *RepairPlanner { return repair.NewPlanner(c) }
+
+// DecodeSectorsRange recovers only the wanted sectors of the scenario,
+// and only the byte range [lo, hi) of each — the degraded partial-read
+// path. lo and hi must be word-aligned for the code's field.
+func DecodeSectorsRange(c Code, st *Stripe, sc Scenario, wanted []int, lo, hi int, opts ...Option) error {
+	return NewDecoder(c, opts...).DecodeSectorsRange(st, sc, wanted, lo, hi)
 }

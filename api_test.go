@@ -244,3 +244,54 @@ func TestStreamRetryAPI(t *testing.T) {
 		t.Fatalf("fresh engine FillRetries = %d, want 0", got)
 	}
 }
+
+// TestRepairAPIMinimalRead drives the exported repair surface: plan a
+// single LRC failure, check the read set is the local group, execute,
+// and patch one strip with the range-restricted partial decode.
+func TestRepairAPIMinimalRead(t *testing.T) {
+	code, err := NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStripe(code.NumStrips(), code.NumRows(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(1, DataPositions(code))
+	dec := NewDecoder(code)
+	if err := dec.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Clone()
+
+	sc, err := NewScenario(code, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewRepairPlanner(code)
+	plan, err := planner.Plan(sc, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Cost.ReadFraction(); got > 0.60 {
+		t.Fatalf("ReadFraction = %.2f, want <= 0.60 (local-group repair)", got)
+	}
+	st.Scribble(2, sc.Faulty)
+	if err := plan.Execute(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(want) {
+		t.Fatal("repair plan did not restore the stripe")
+	}
+
+	// Range-restricted partial decode through the package-level helper.
+	st.Scribble(3, sc.Faulty)
+	if err := DecodeSectorsRange(code, st, sc, []int{3}, 64, 192); err != nil {
+		t.Fatal(err)
+	}
+	for i := 64; i < 192; i++ {
+		if st.Sector(3)[i] != want.Sector(3)[i] {
+			t.Fatalf("byte %d of wanted sector not recovered", i)
+		}
+	}
+}

@@ -34,7 +34,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"ppm/internal/codes"
@@ -279,6 +281,8 @@ func main() {
 		trafficSeed     = flag.Int64("traffic-seed", 1, "traffic: arrival-schedule seed")
 		trafficGate     = flag.Float64("traffic-gate", 1.3, "traffic: pool-vs-single aggregate throughput floor (gated at >= 4 streams)")
 		trafficOut      = flag.String("traffic-o", "BENCH_traffic.json", "traffic: output file")
+
+		history = flag.String("history", "BENCH_history", "directory for dated report copies (empty disables)")
 	)
 	flag.Parse()
 	if *traffic {
@@ -291,6 +295,7 @@ func main() {
 			seed:     *trafficSeed,
 			gate:     *trafficGate,
 			out:      *trafficOut,
+			history:  *history,
 		}))
 	}
 	if *payload < 1<<20 {
@@ -423,6 +428,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchpipeline: %v\n", err)
 		os.Exit(1)
 	}
+	if *history != "" {
+		if err := writeHistory(*history, "BENCH_pipeline", rep.Date, append(data, '\n')); err != nil {
+			fmt.Fprintf(os.Stderr, "benchpipeline: history: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
 
 	if len(gateFailures) > 0 {
@@ -431,4 +442,15 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writeHistory appends a dated copy of a report to dir, mirroring the
+// benchkernel convention, so both pipeline series keep a trajectory
+// across PRs instead of only the latest overwrite.
+func writeHistory(dir, prefix, date string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stamp := strings.NewReplacer(":", "", "-", "").Replace(date)
+	return os.WriteFile(filepath.Join(dir, prefix+"-"+stamp+".json"), data, 0o644)
 }

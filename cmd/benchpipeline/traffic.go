@@ -42,6 +42,7 @@ type trafficOptions struct {
 	seed     int64         // arrival-schedule seed
 	gate     float64       // pool-vs-single aggregate throughput floor
 	out      string        // report path
+	history  string        // dated-copy directory (empty disables)
 }
 
 type trafficConfigResult struct {
@@ -288,6 +289,12 @@ func trafficMain(o trafficOptions) int {
 	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchpipeline: traffic: %v\n", err)
 		return 1
+	}
+	if o.history != "" {
+		if err := writeHistory(o.history, "BENCH_traffic", rep.Date, append(data, '\n')); err != nil {
+			fmt.Fprintf(os.Stderr, "benchpipeline: traffic: history: %v\n", err)
+			return 1
+		}
 	}
 	fmt.Printf("wrote %s\n", o.out)
 

@@ -1,0 +1,361 @@
+// Command benchrepair records the repair-planner benchmark series that
+// `make bench-repair` tracks across PRs.
+//
+// It measures three things and writes BENCH_repair.json:
+//
+//   - Minimal-read repair: for each code/failure case, the fraction of
+//     the surviving stripe a single-sector repair actually reads
+//     (plan.Cost.ReadFraction) and the wall-clock speedup of the
+//     partial repair plan over a full-stripe decode. Gate: every LRC
+//     single-failure case must read at most 60% of the survivors.
+//   - Delta parity updates: the speedup of Updater.Update (read-
+//     modify-write of one data strip) over a full re-encode, across
+//     strip sizes. Gate: at least 2x at every 128 KiB+ strip size.
+//   - Byte-identity: a differential sweep re-runs every repair case
+//     against the full decoder on random stripes and fails the run if
+//     any byte differs, so a fast-but-wrong plan can never pass.
+//
+// Alongside the overwritten snapshot, every run appends a dated copy
+// under BENCH_history/ so the series keeps a trajectory across PRs.
+//
+// Usage:
+//
+//	benchrepair [-count 5] [-benchtime 200ms] [-trials 24] [-o BENCH_repair.json] [-history BENCH_history]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/repair"
+	"ppm/internal/stripe"
+)
+
+type repairCase struct {
+	Case         string  `json:"case"`
+	Code         string  `json:"code"`
+	Faulty       []int   `json:"faulty"`
+	ReadSectors  int     `json:"read_sectors"`
+	FullSectors  int     `json:"full_read_sectors"`
+	ReadFraction float64 `json:"read_fraction"`
+	MultXORs     int64   `json:"mult_xors"`
+	PartialNsOp  float64 `json:"partial_ns_op"`
+	FullNsOp     float64 `json:"full_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	LRCGated     bool    `json:"lrc_single_failure"`
+	MeetsRead    bool    `json:"meets_60pct_read"`
+}
+
+type deltaCase struct {
+	Case         string  `json:"case"`
+	SectorBytes  int     `json:"sector_bytes"`
+	DeltaNsOp    float64 `json:"delta_ns_op"`
+	ReencodeNsOp float64 `json:"reencode_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	Gated        bool    `json:"gated_128kib_plus"`
+	MeetsFloor   bool    `json:"meets_2x"`
+}
+
+type report struct {
+	Date          string       `json:"date"`
+	GoVersion     string       `json:"go_version"`
+	Count         int          `json:"count"`
+	BenchTime     string       `json:"benchtime"`
+	Repair        []repairCase `json:"repair_cases"`
+	Delta         []deltaCase  `json:"delta_cases"`
+	Trials        int          `json:"differential_trials"`
+	ByteIdentical bool         `json:"byte_identical"`
+}
+
+// config is one code/failure geometry the series tracks. The bench
+// sector size is small — read fractions are geometry, not throughput,
+// and the partial-vs-full timing ratio is stable across sizes.
+type config struct {
+	name     string
+	code     codes.Code
+	faulty   []int
+	lrcGated bool // counts toward the 60% single-failure LRC gate
+}
+
+const benchSector = 16 << 10
+
+func buildConfigs() ([]config, error) {
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := codes.NewRS(10, 1, 4)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := codes.NewSD(8, 4, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	return []config{
+		{"lrc12_2_2_data", lrc, []int{3}, true},
+		{"lrc12_2_2_local_parity", lrc, []int{12}, true},
+		{"lrc12_2_2_global_parity", lrc, []int{14}, false},
+		{"rs10_1_4_data", rs, []int{0}, false},
+		{"sd8_4_2_2_sector", sd, []int{5}, false},
+	}, nil
+}
+
+func main() {
+	var (
+		count     = flag.Int("count", 5, "timing reps per case (best kept)")
+		benchtime = flag.Duration("benchtime", 200*time.Millisecond, "minimum measuring window per rep")
+		trials    = flag.Int("trials", 24, "differential byte-identity trials per case")
+		out       = flag.String("o", "BENCH_repair.json", "output file")
+		history   = flag.String("history", "BENCH_history", "directory for dated report copies (empty disables)")
+	)
+	flag.Parse()
+
+	rep := report{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		Count:         *count,
+		BenchTime:     benchtime.String(),
+		Trials:        *trials,
+		ByteIdentical: true,
+	}
+
+	cfgs, err := buildConfigs()
+	if err != nil {
+		fatal(err)
+	}
+	for _, cfg := range cfgs {
+		rc, err := runRepairCase(cfg, *count, *benchtime, *trials, &rep.ByteIdentical)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", cfg.name, err))
+		}
+		rep.Repair = append(rep.Repair, rc)
+	}
+	for _, size := range []int{4 << 10, 128 << 10, 512 << 10} {
+		dc, err := runDeltaCase(size, *count, *benchtime)
+		if err != nil {
+			fatal(fmt.Errorf("delta %d: %w", size, err))
+		}
+		rep.Delta = append(rep.Delta, dc)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	if *history != "" {
+		if err := writeHistory(*history, rep.Date, data); err != nil {
+			fatal(fmt.Errorf("history: %w", err))
+		}
+	}
+
+	fmt.Printf("%-24s %10s %10s %9s\n", "case", "read", "mult_xors", "speedup")
+	for _, c := range rep.Repair {
+		fmt.Printf("%-24s %9.1f%% %10d %8.2fx\n", c.Case, 100*c.ReadFraction, c.MultXORs, c.Speedup)
+	}
+	fmt.Printf("%-24s %10s %10s %9s\n", "delta", "delta ns", "reenc ns", "speedup")
+	for _, c := range rep.Delta {
+		fmt.Printf("%-24s %10.0f %10.0f %8.2fx\n", c.Case, c.DeltaNsOp, c.ReencodeNsOp, c.Speedup)
+	}
+	fmt.Printf("wrote %s (%d repair cases, %d delta cases, byte_identical=%v)\n",
+		*out, len(rep.Repair), len(rep.Delta), rep.ByteIdentical)
+
+	failed := false
+	for _, c := range rep.Repair {
+		if c.LRCGated && !c.MeetsRead {
+			fmt.Fprintf(os.Stderr, "benchrepair: %s reads %.1f%% of survivors, above the 60%% floor\n",
+				c.Case, 100*c.ReadFraction)
+			failed = true
+		}
+	}
+	for _, c := range rep.Delta {
+		if c.Gated && !c.MeetsFloor {
+			fmt.Fprintf(os.Stderr, "benchrepair: %s delta speedup %.2fx below the 2x floor\n",
+				c.Case, c.Speedup)
+			failed = true
+		}
+	}
+	if !rep.ByteIdentical {
+		fmt.Fprintln(os.Stderr, "benchrepair: differential sweep found a partial decode that differs from the full decoder")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runRepairCase plans the case's failure, times the partial plan
+// against a full-stripe decode, and differential-checks byte identity
+// over random stripes.
+func runRepairCase(cfg config, count int, benchtime time.Duration, trials int, identical *bool) (repairCase, error) {
+	c := cfg.code
+	sc, err := codes.NewScenario(c, cfg.faulty)
+	if err != nil {
+		return repairCase{}, err
+	}
+	planner := repair.NewPlanner(c)
+	plan, err := planner.Plan(sc, cfg.faulty)
+	if err != nil {
+		return repairCase{}, err
+	}
+	dec := core.NewDecoder(c)
+	fullPlan, err := dec.Plan(sc)
+	if err != nil {
+		return repairCase{}, err
+	}
+
+	st, err := stripe.New(c.NumStrips(), c.NumRows(), benchSector)
+	if err != nil {
+		return repairCase{}, err
+	}
+	st.FillDataRandom(1, codes.DataPositions(c))
+	if err := dec.Encode(st); err != nil {
+		return repairCase{}, err
+	}
+	orig := st.Clone()
+
+	partialNs := timeIt(count, benchtime, func() error {
+		st.Scribble(2, sc.Faulty)
+		return plan.Execute(st, nil)
+	})
+	fullNs := timeIt(count, benchtime, func() error {
+		st.Scribble(2, sc.Faulty)
+		return dec.DecodeWithPlan(fullPlan, st)
+	})
+
+	// Differential sweep: the partial plan must reproduce the full
+	// decoder byte-for-byte on fresh random stripes.
+	for trial := 0; trial < trials; trial++ {
+		st.FillDataRandom(int64(trial)*7+3, codes.DataPositions(c))
+		if err := dec.Encode(st); err != nil {
+			return repairCase{}, err
+		}
+		orig = st.Clone()
+		st.Scribble(int64(trial)+11, sc.Faulty)
+		if err := plan.Execute(st, nil); err != nil {
+			return repairCase{}, err
+		}
+		for _, w := range plan.Wanted {
+			if !bytes.Equal(st.Sector(w), orig.Sector(w)) {
+				*identical = false
+			}
+		}
+	}
+
+	rc := repairCase{
+		Case:         cfg.name,
+		Code:         c.Name(),
+		Faulty:       cfg.faulty,
+		ReadSectors:  plan.Cost.ReadSectors,
+		FullSectors:  plan.Cost.FullReadSectors,
+		ReadFraction: plan.Cost.ReadFraction(),
+		MultXORs:     plan.Cost.MultXORs,
+		PartialNsOp:  partialNs,
+		FullNsOp:     fullNs,
+		Speedup:      fullNs / partialNs,
+		LRCGated:     cfg.lrcGated,
+	}
+	rc.MeetsRead = rc.ReadFraction <= 0.60
+	return rc, nil
+}
+
+// runDeltaCase times a one-strip delta parity update against a full
+// re-encode of the same stripe at the given strip (sector) size.
+func runDeltaCase(sectorBytes, count int, benchtime time.Duration) (deltaCase, error) {
+	c, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		return deltaCase{}, err
+	}
+	planner := repair.NewPlanner(c)
+	upd, err := planner.Updater()
+	if err != nil {
+		return deltaCase{}, err
+	}
+	dec := core.NewDecoder(c)
+
+	st, err := stripe.New(c.NumStrips(), c.NumRows(), sectorBytes)
+	if err != nil {
+		return deltaCase{}, err
+	}
+	st.FillDataRandom(1, codes.DataPositions(c))
+	if err := dec.Encode(st); err != nil {
+		return deltaCase{}, err
+	}
+
+	const dataIdx = 3
+	newContent := make([]byte, sectorBytes)
+	for i := range newContent {
+		newContent[i] = byte(i * 131)
+	}
+
+	deltaNs := timeIt(count, benchtime, func() error {
+		return upd.Update(st, dataIdx, newContent, nil)
+	})
+	reencNs := timeIt(count, benchtime, func() error {
+		copy(st.Sector(dataIdx), newContent)
+		return dec.Encode(st)
+	})
+
+	dc := deltaCase{
+		Case:         fmt.Sprintf("lrc12_2_2_%dKiB", sectorBytes>>10),
+		SectorBytes:  sectorBytes,
+		DeltaNsOp:    deltaNs,
+		ReencodeNsOp: reencNs,
+		Speedup:      reencNs / deltaNs,
+		Gated:        sectorBytes >= 128<<10,
+	}
+	dc.MeetsFloor = dc.Speedup >= 2.0
+	return dc, nil
+}
+
+// timeIt runs fn in count reps, each at least benchtime long, and
+// returns the best (minimum) ns/op — the standard noise filter.
+func timeIt(count int, benchtime time.Duration, fn func() error) float64 {
+	if err := fn(); err != nil { // warm caches; surface errors once
+		fatal(err)
+	}
+	best := 0.0
+	for rep := 0; rep < count; rep++ {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < benchtime {
+			if err := fn(); err != nil {
+				fatal(err)
+			}
+			iters++
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// writeHistory appends a dated copy of the report to dir, so the bench
+// series keeps every recorded point, not just the latest overwrite.
+func writeHistory(dir, date string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stamp := strings.NewReplacer(":", "", "-", "").Replace(date)
+	return os.WriteFile(filepath.Join(dir, "BENCH_repair-"+stamp+".json"), data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchrepair: %v\n", err)
+	os.Exit(1)
+}

@@ -130,6 +130,49 @@ func TestDecodeTooManyMissing(t *testing.T) {
 	}
 }
 
+// TestVerifyChecksumOnlyAndParityFallback: checksummed archives verify
+// on CRC-32C alone (no decode), and pre-checksum archives — the
+// manifest's checksum rows stripped — still get the full parity-check
+// path, including corruption detection.
+func TestVerifyChecksumOnlyAndParityFallback(t *testing.T) {
+	work := t.TempDir()
+	in, _ := writeInput(t, work, 20_000)
+	shards := filepath.Join(work, "shards")
+	if err := runEncode([]string{"-in", in, "-dir", shards, "-n", "5", "-r", "4", "-m", "1", "-s", "1", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	// Checksummed path.
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("checksummed verify failed on a clean dir: %v", err)
+	}
+	// Strip the checksum rows: a pre-checksum archive.
+	mf, err := readManifest(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.Checksums = nil
+	mf.ChecksumAlgo = ""
+	if err := writeManifest(shards, mf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err != nil {
+		t.Fatalf("parity-fallback verify failed on a clean dir: %v", err)
+	}
+	// Corruption must still be caught by the parity path.
+	path := filepath.Join(shards, diskFileName(1))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[60] ^= 0x08
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-dir", shards}); err == nil {
+		t.Fatal("parity-fallback verify missed a flipped bit")
+	}
+}
+
 func TestVerifyDetectsCorruption(t *testing.T) {
 	work := t.TempDir()
 	in, _ := writeInput(t, work, 20_000)

@@ -21,6 +21,7 @@ type Decoder struct {
 	backend  Backend
 	cacheCap int
 	cache    *planCache
+	partials *partialCache
 }
 
 // Option configures a Decoder.
@@ -71,6 +72,7 @@ func NewDecoder(c codes.Code, opts ...Option) *Decoder {
 	}
 	if d.cacheCap > 0 {
 		d.cache = newPlanCache(d.cacheCap)
+		d.partials = newPartialCache(d.cacheCap)
 	}
 	return d
 }

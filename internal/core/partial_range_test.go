@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ppm/internal/codes"
+)
+
+// TestDecodeSectorsRangeMatchesFull: chunked range-restricted degraded
+// reads reassemble to exactly the full-sector partial decode.
+func TestDecodeSectorsRangeMatchesFull(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	full := encodedStripe(t, sd, 256, 423)
+	want := full.Clone()
+	full.Scribble(9, sc.Faulty)
+	chunked := full.Clone()
+
+	wanted := []int{2}
+	dec := NewDecoder(sd)
+	if err := dec.DecodeSectors(full, sc, wanted); err != nil {
+		t.Fatal(err)
+	}
+	wb := sd.Field().WordBytes()
+	for lo := 0; lo < 256; {
+		hi := lo + 16*wb
+		if hi > 256 {
+			hi = 256
+		}
+		if err := dec.DecodeSectorsRange(chunked, sc, wanted, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	if !bytes.Equal(full.Sector(2), want.Sector(2)) {
+		t.Fatal("full-range partial decode wrong")
+	}
+	if !bytes.Equal(chunked.Sector(2), full.Sector(2)) {
+		t.Fatal("chunked partial decode differs from full-range")
+	}
+}
+
+// TestDecodeSectorsRangeValidation rejects unaligned and out-of-bounds
+// ranges.
+func TestDecodeSectorsRangeValidation(t *testing.T) {
+	sd := paperSD(t)
+	sc := paperScenario(t, sd)
+	st := encodedStripe(t, sd, 64, 5)
+	dec := NewDecoder(sd)
+	if err := dec.DecodeSectorsRange(st, sc, []int{2}, 0, 65); err == nil {
+		t.Fatal("out-of-bounds hi accepted")
+	}
+	if err := dec.DecodeSectorsRange(st, sc, []int{2}, 8, 8); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if sd.Field().WordBytes() > 1 {
+		if err := dec.DecodeSectorsRange(st, sc, []int{2}, 1, 64); err == nil {
+			t.Fatal("unaligned lo accepted")
+		}
+	}
+}
+
+// TestDecodeSectorsRangeAllocFree: with the plan and selection caches
+// warm, the range-restricted degraded read allocates nothing per call.
+func TestDecodeSectorsRangeAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool deliberately drops items; alloc counts are meaningless")
+	}
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := codes.NewScenario(lrc, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := encodedStripe(t, lrc, 4096, 77)
+	dec := NewDecoder(lrc)
+	wanted := []int{3}
+	if err := dec.DecodeSectorsRange(st, sc, wanted, 0, 4096); err != nil { // warm caches + pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := dec.DecodeSectorsRange(st, sc, wanted, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeSectorsRange allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ppm/internal/codes"
 	"ppm/internal/gf"
@@ -77,33 +78,59 @@ func (u *Updater) UpdateCost(dataIdx int) (int, error) {
 	return len(u.columns[j]), nil
 }
 
+// deltaPool recycles the old⊕new scratch region, so the repeated
+// small-write path — thousands of strip overwrites against the same
+// code — allocates nothing per update.
+var deltaPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
 // Update overwrites data sector dataIdx of an encoded stripe with
 // newContent and patches every affected parity sector in place, leaving
 // the stripe a valid codeword. newContent must have the stripe's sector
 // size.
 func (u *Updater) Update(st *stripe.Stripe, dataIdx int, newContent []byte, stats *kernel.Stats) error {
+	return u.UpdateRange(st, dataIdx, newContent, 0, st.SectorSize(), stats)
+}
+
+// UpdateRange patches only the [lo, hi) byte sub-range of data sector
+// dataIdx: newContent holds the hi-lo replacement bytes, and the same
+// sub-range of every affected parity sector is delta-updated. lo and
+// hi must be multiples of the field word size. Allocation-free at
+// steady state (the delta scratch circulates through a pool).
+func (u *Updater) UpdateRange(st *stripe.Stripe, dataIdx int, newContent []byte, lo, hi int, stats *kernel.Stats) error {
 	if st.N() != u.code.NumStrips() || st.R() != u.code.NumRows() {
 		return fmt.Errorf("core: stripe %dx%d does not match code %s", st.N(), st.R(), u.code.Name())
 	}
-	if len(newContent) != st.SectorSize() {
-		return fmt.Errorf("core: new content is %d bytes, sector size is %d", len(newContent), st.SectorSize())
+	wb := u.field.WordBytes()
+	if lo < 0 || hi > st.SectorSize() || lo >= hi {
+		return fmt.Errorf("core: byte range [%d,%d) outside sector size %d", lo, hi, st.SectorSize())
+	}
+	if lo%wb != 0 || hi%wb != 0 {
+		return fmt.Errorf("core: byte range [%d,%d) not aligned to the %d-byte GF word", lo, hi, wb)
+	}
+	if len(newContent) != hi-lo {
+		return fmt.Errorf("core: new content is %d bytes, range [%d,%d) needs %d", len(newContent), lo, hi, hi-lo)
 	}
 	j, ok := u.dataAt[dataIdx]
 	if !ok {
 		return fmt.Errorf("core: sector %d is not a data sector", dataIdx)
 	}
 
-	old := st.Sector(dataIdx)
-	delta := make([]byte, len(old))
+	old := st.Sector(dataIdx)[lo:hi]
+	bp := deltaPool.Get().(*[]byte)
+	if cap(*bp) < len(old) {
+		*bp = make([]byte, len(old))
+	}
+	delta := (*bp)[:len(old)]
 	for i := range delta {
 		delta[i] = old[i] ^ newContent[i]
 	}
 	var ops int64
 	for _, term := range u.columns[j] {
-		term.mult.MultXOR(st.Sector(u.parity[term.parityRow]), delta)
+		term.mult.MultXOR(st.Sector(u.parity[term.parityRow])[lo:hi], delta)
 		ops++
 	}
 	copy(old, newContent)
+	deltaPool.Put(bp)
 	stats.AddMultXORs(ops)
 	return nil
 }

@@ -1,0 +1,45 @@
+package cost
+
+// Repair-bandwidth cost model (extension beyond the paper). The §III-B
+// analysis minimises mult_XORs; on a real array the dominant repair
+// cost is bytes read off surviving disks (the repair-bandwidth lens of
+// product-matrix regenerating codes, arXiv:1412.3022). A repair plan is
+// therefore scored lexicographically: survivor sectors read first,
+// predicted mult_XORs as the tiebreak — equivalently the product
+// bytes-read × mult_XORs when either factor ties.
+type RepairCost struct {
+	// ReadSectors is the number of distinct survivor sectors the plan
+	// reads from the array (recovered intermediates are not re-read).
+	ReadSectors int `json:"read_sectors"`
+	// FullReadSectors is what a full-stripe decode reads: every
+	// surviving sector of the stripe.
+	FullReadSectors int `json:"full_read_sectors"`
+	// MultXORs is the plan's predicted operation count (the paper's
+	// nonzero-sum metric, identical to kernel.Stats accounting).
+	MultXORs int64 `json:"mult_xors"`
+}
+
+// ReadFraction is bytes read relative to a full-stripe decode; the LRC
+// single-failure repair gate requires <= 0.60 here.
+func (c RepairCost) ReadFraction() float64 {
+	if c.FullReadSectors == 0 {
+		return 0
+	}
+	return float64(c.ReadSectors) / float64(c.FullReadSectors)
+}
+
+// Score is the combined bytes-read × mult_XORs figure of merit (lower
+// is better). Candidate survivor sets are compared by Less, which
+// breaks score ties toward fewer bytes read.
+func (c RepairCost) Score() float64 {
+	return float64(c.ReadSectors) * float64(c.MultXORs)
+}
+
+// Less orders candidate repair plans: fewer survivor sectors wins, and
+// an equal read footprint falls back to the mult_XORs count.
+func (c RepairCost) Less(o RepairCost) bool {
+	if c.ReadSectors != o.ReadSectors {
+		return c.ReadSectors < o.ReadSectors
+	}
+	return c.MultXORs < o.MultXORs
+}

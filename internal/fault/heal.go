@@ -4,9 +4,10 @@ import (
 	"context"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"ppm/internal/codes"
-	"ppm/internal/core"
+	"ppm/internal/repair"
 	"ppm/internal/stripe"
 )
 
@@ -69,6 +70,13 @@ type HealStats struct {
 	// Healed counts stripes the healer re-decoded beyond the baseline
 	// scenario.
 	Healed int64 `json:"healed"`
+	// StripsRead counts strips fetched from the store by the
+	// minimal-read path (ReadSectors); ReadStripe reads every live
+	// strip and does not tick this.
+	StripsRead int64 `json:"strips_read"`
+	// Replans counts ReadSectors iterations that widened the survivor
+	// set after an unreadable or corrupt strip invalidated the plan.
+	Replans int64 `json:"replans"`
 }
 
 // Add accumulates o into s.
@@ -78,6 +86,8 @@ func (s *HealStats) Add(o HealStats) {
 	s.DemotedStrips += o.DemotedStrips
 	s.CorruptSectors += o.CorruptSectors
 	s.Healed += o.Healed
+	s.StripsRead += o.StripsRead
+	s.Replans += o.Replans
 }
 
 // Healer performs checksummed degraded stripe reads over a Store: each
@@ -111,16 +121,16 @@ type Healer struct {
 	// Stats accumulates across ReadStripe calls.
 	Stats HealStats
 
-	dec     *core.Decoder
+	planner *repair.Planner
 	baseSet map[int]bool
 	buf     []byte
 }
 
-// init lazily builds the decoder (plan-cached: repeated demotion
+// init lazily builds the repair planner (LRU-cached: repeated demotion
 // patterns reuse their compiled plans) and scratch.
 func (h *Healer) init() {
-	if h.dec == nil {
-		h.dec = core.NewDecoder(h.Code)
+	if h.planner == nil {
+		h.planner = repair.NewPlanner(h.Code)
 		h.baseSet = h.Baseline.FaultySet()
 		h.buf = make([]byte, h.Store.StripBytes())
 	}
@@ -141,7 +151,6 @@ func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) err
 	h.init()
 	h.Stats.Stripes++
 	n, r := st.N(), st.R()
-	sector := st.SectorSize()
 	demoted := make(map[int]bool)
 
 	for j := 0; j < n; j++ {
@@ -160,22 +169,7 @@ func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) err
 			}
 			continue
 		}
-		// Under an op deadline each attempt gets a private buffer: an
-		// abandoned hung read finishing late must not scribble scratch
-		// the healer is already reusing for the next strip.
-		buf, attempts, err := DoVal(ctx, fmt.Sprintf("read stripe %d disk %d", idx, j), h.Policy,
-			func() ([]byte, error) {
-				b := h.buf
-				if h.Policy.OpTimeout > 0 {
-					b = make([]byte, h.Store.StripBytes())
-				}
-				if err := h.Store.ReadStrip(idx, j, b); err != nil {
-					return nil, err
-				}
-				return b, nil
-			})
-		h.Stats.Retries += int64(attempts - 1)
-		if err != nil {
+		if err := h.readStrip(ctx, idx, j, st); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return ctxErr
 			}
@@ -185,10 +179,6 @@ func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) err
 				clear(st.SectorAt(i, j))
 				demoted[i*n+j] = true
 			}
-			continue
-		}
-		for i := 0; i < r; i++ {
-			copy(st.SectorAt(i, j), buf[i*sector:(i+1)*sector])
 		}
 	}
 
@@ -217,13 +207,18 @@ func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) err
 		return nil
 	}
 
-	// Damage beyond the baseline: decode baseline ∪ demoted here, so
-	// the stripe leaves fully healed (a downstream baseline decode is
-	// then a no-op recomputation of already-correct sectors).
+	// Damage beyond the baseline: repair-plan exactly the demoted
+	// sectors over the scenario baseline ∪ demoted. The plan's minimal
+	// survivor set skips whole sub-decodes an unrelated failure would
+	// have dragged in; baseline sectors stay zeroed for the downstream
+	// consumer's once-compiled decode (its plan recovers them anyway).
 	faulty := make([]int, 0, len(demoted)+len(h.baseSet))
+	wanted := make([]int, 0, len(demoted))
 	for s := range demoted {
 		faulty = append(faulty, s)
+		wanted = append(wanted, s)
 	}
+	sort.Ints(wanted)
 	for s := range h.baseSet {
 		if !demoted[s] {
 			faulty = append(faulty, s)
@@ -237,10 +232,149 @@ func (h *Healer) ReadStripe(ctx context.Context, idx int, st *stripe.Stripe) err
 		return fmt.Errorf("fault: stripe %d: %d failures exceed %s's tolerance (unrecoverable)",
 			idx, len(faulty), h.Code.Name())
 	}
-	if err := h.dec.Decode(st, sc); err != nil {
-		return fmt.Errorf("fault: stripe %d: healing decode: %w", idx, err)
+	plan, err := h.planner.Plan(sc, wanted)
+	if err != nil {
+		return fmt.Errorf("fault: stripe %d: repair planning: %w", idx, err)
+	}
+	if err := plan.Execute(st, nil); err != nil {
+		return fmt.Errorf("fault: stripe %d: healing repair: %w", idx, err)
 	}
 	h.Stats.Healed++
-	h.logf("stripe %d: healed %d demoted sector(s) by re-decode", idx, len(demoted))
+	h.logf("stripe %d: healed %d demoted sector(s) via repair plan (%d survivors)",
+		idx, len(demoted), len(plan.ReadCols))
 	return nil
+}
+
+// readStrip fetches strip j of stripe idx into st under the retry
+// policy, returning an error when every attempt failed.
+func (h *Healer) readStrip(ctx context.Context, idx, j int, st *stripe.Stripe) error {
+	sector := st.SectorSize()
+	buf, attempts, err := DoVal(ctx, fmt.Sprintf("read stripe %d disk %d", idx, j), h.Policy,
+		func() ([]byte, error) {
+			b := h.buf
+			if h.Policy.OpTimeout > 0 {
+				// An abandoned hung read finishing late must not
+				// scribble scratch the healer is already reusing.
+				b = make([]byte, h.Store.StripBytes())
+			}
+			if err := h.Store.ReadStrip(idx, j, b); err != nil {
+				return nil, err
+			}
+			return b, nil
+		})
+	h.Stats.Retries += int64(attempts - 1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < st.R(); i++ {
+		copy(st.SectorAt(i, j), buf[i*sector:(i+1)*sector])
+	}
+	return nil
+}
+
+// ReadSectors materialises only the wanted sectors of stripe idx into
+// st — the minimal-read degraded path. It plans the smallest survivor
+// set for the baseline failures, reads only the strips holding it
+// (plus the wanted live sectors), checksum-verifies what it read, and
+// on any unreadable or corrupt strip demotes the damage to erasures
+// and replans over a wider survivor set, until the wanted sectors are
+// recovered or the damage exceeds the code's tolerance. Sectors
+// outside the plan are left untouched — the caller must only consume
+// the wanted ones.
+func (h *Healer) ReadSectors(ctx context.Context, idx int, st *stripe.Stripe, wanted []int) error {
+	h.init()
+	h.Stats.Stripes++
+	n, r := st.N(), st.R()
+	faulty := make(map[int]bool, len(h.baseSet))
+	for s := range h.baseSet {
+		faulty[s] = true
+	}
+	read := make(map[int]bool, n)
+	faultyList := make([]int, 0, len(faulty))
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			h.Stats.Replans++
+		}
+		faultyList = faultyList[:0]
+		for s := range faulty {
+			faultyList = append(faultyList, s)
+		}
+		sort.Ints(faultyList)
+		sc, err := codes.NewScenario(h.Code, faultyList)
+		if err != nil {
+			return fmt.Errorf("fault: stripe %d: %w", idx, err)
+		}
+		if !codes.Decodable(h.Code, sc) {
+			return fmt.Errorf("fault: stripe %d: %d failures exceed %s's tolerance (unrecoverable)",
+				idx, len(faultyList), h.Code.Name())
+		}
+		plan, err := h.planner.Plan(sc, wanted)
+		if err != nil {
+			return fmt.Errorf("fault: stripe %d: repair planning: %w", idx, err)
+		}
+
+		// Strips to fetch: the plan's survivor strips plus any strip
+		// holding a wanted, still-live sector.
+		need := make(map[int]bool, n)
+		for _, d := range plan.ReadDisks() {
+			need[d] = true
+		}
+		for _, w := range wanted {
+			if !faulty[w] {
+				need[w%n] = true
+			}
+		}
+
+		widened := false
+		for j := 0; j < n; j++ {
+			if !need[j] || read[j] {
+				continue
+			}
+			if err := h.readStrip(ctx, idx, j, st); err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return ctxErr
+				}
+				h.Stats.DemotedStrips++
+				h.logf("stripe %d disk %d: demoting strip to erasure: %v", idx, j, err)
+				for i := 0; i < r; i++ {
+					clear(st.SectorAt(i, j))
+					faulty[i*n+j] = true
+				}
+				widened = true
+				continue
+			}
+			read[j] = true
+			h.Stats.StripsRead++
+			if idx < len(h.Sums) && h.Sums[idx] != nil {
+				sums := h.Sums[idx]
+				for i := 0; i < r; i++ {
+					s := i*n + j
+					if faulty[s] || s >= len(sums) {
+						continue
+					}
+					if ChecksumSector(st.SectorAt(i, j)) != sums[s] {
+						h.Stats.CorruptSectors++
+						h.logf("stripe %d sector %d (row %d, disk %d): checksum mismatch, demoting to erasure",
+							idx, s, i, j)
+						clear(st.SectorAt(i, j))
+						faulty[s] = true
+						widened = true
+					}
+				}
+			}
+		}
+		if widened {
+			// New damage invalidated the plan: replan over the wider
+			// erasure set (already-read strips are not re-fetched).
+			continue
+		}
+		if err := plan.Execute(st, nil); err != nil {
+			return fmt.Errorf("fault: stripe %d: repair execute: %w", idx, err)
+		}
+		if len(faulty) > len(h.baseSet) {
+			h.Stats.Healed++
+		}
+		return nil
+	}
 }

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ppm/internal/codes"
+	"ppm/internal/stripe"
+)
+
+// TestReadSectorsMinimalRead: a clean degraded read of one lost LRC
+// block fetches only its local group — far below the full stripe.
+func TestReadSectorsMinimalRead(t *testing.T) {
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sector = 64
+	ms, origs, sums := encodeToStore(t, lrc, 2, sector, 41)
+	ms.Lose(3) // the block we will degraded-read
+
+	h := &Healer{Code: lrc, Store: ms, Sums: sums,
+		Policy: Policy{MaxAttempts: 2, BaseDelay: time.Microsecond}}
+	st, err := stripe.New(lrc.NumStrips(), lrc.NumRows(), sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReadSectors(context.Background(), 0, st, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Sector(3), origs[0].Sector(3)) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+	// Minimal read: the 6 local-group survivors only (the lost strip's
+	// read failure does not tick StripsRead).
+	if h.Stats.StripsRead != 6 {
+		t.Fatalf("StripsRead = %d, want 6 (local group)", h.Stats.StripsRead)
+	}
+	if h.Stats.Replans != 1 {
+		t.Fatalf("Replans = %d, want 1 (lost strip discovered on first read)", h.Stats.Replans)
+	}
+}
+
+// TestReadSectorsCorruptSurvivorFallsBack: the satellite chaos case —
+// a degraded sector read whose minimal survivor set contains a
+// silently corrupted strip must fall back to a wider survivor set and
+// still return byte-identical data.
+func TestReadSectorsCorruptSurvivorFallsBack(t *testing.T) {
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sector = 64
+	ms, origs, sums := encodeToStore(t, lrc, 2, sector, 43)
+	ms.Lose(3) // block 3 unreadable: the degraded-read target
+
+	// Silently corrupt survivor 1 — a member of block 3's local group,
+	// so the minimal plan reads it and the checksum catches it.
+	sched := NewSchedule(5)
+	sched.Add(Event{Stripe: 0, Disk: 1, Kind: BitFlip, Count: 1})
+	fs := NewFaultyStore(ms, sched)
+
+	var lines int
+	h := &Healer{Code: lrc, Store: fs, Sums: sums,
+		Policy: Policy{MaxAttempts: 2, BaseDelay: time.Microsecond},
+		Logf:   func(string, ...any) { lines++ }}
+	st, err := stripe.New(lrc.NumStrips(), lrc.NumRows(), sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReadSectors(context.Background(), 0, st, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Sector(3), origs[0].Sector(3)) {
+		t.Fatal("degraded read with corrupt survivor returned wrong bytes")
+	}
+	if h.Stats.CorruptSectors != 1 {
+		t.Fatalf("CorruptSectors = %d, want 1", h.Stats.CorruptSectors)
+	}
+	// At least two replans: the unreadable target, then the corrupt
+	// survivor widening the set to the global parities.
+	if h.Stats.Replans < 2 {
+		t.Fatalf("Replans = %d, want >= 2 (fallback to wider survivor set)", h.Stats.Replans)
+	}
+	// Wider than the local group, but still not the whole array.
+	if h.Stats.StripsRead <= 6 || h.Stats.StripsRead >= int64(lrc.NumStrips()) {
+		t.Fatalf("StripsRead = %d, want in (6, %d)", h.Stats.StripsRead, lrc.NumStrips())
+	}
+	if lines == 0 {
+		t.Fatal("fallback produced no degraded-read log lines")
+	}
+}
+
+// TestReadSectorsUnrecoverable: damage beyond the code's tolerance is
+// an error, not garbage.
+func TestReadSectorsUnrecoverable(t *testing.T) {
+	rs, err := codes.NewRS(6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, sums := encodeToStore(t, rs, 1, 64, 47)
+	ms.Lose(0)
+	ms.Lose(1)
+	ms.Lose(2)
+	h := &Healer{Code: rs, Store: ms, Sums: sums,
+		Policy: Policy{MaxAttempts: 2, BaseDelay: time.Microsecond}}
+	st, _ := stripe.New(rs.NumStrips(), rs.NumRows(), 64)
+	if err := h.ReadSectors(context.Background(), 0, st, []int{0}); err == nil {
+		t.Fatal("unrecoverable degraded read reported success")
+	}
+}
+
+// TestReadSectorsLiveSector: reading a healthy sector fetches just its
+// strip — no plan, no decode.
+func TestReadSectorsLiveSector(t *testing.T) {
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, origs, sums := encodeToStore(t, lrc, 1, 64, 53)
+	h := &Healer{Code: lrc, Store: ms, Sums: sums,
+		Policy: Policy{MaxAttempts: 2, BaseDelay: time.Microsecond}}
+	st, _ := stripe.New(lrc.NumStrips(), lrc.NumRows(), 64)
+	if err := h.ReadSectors(context.Background(), 0, st, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Sector(5), origs[0].Sector(5)) {
+		t.Fatal("live sector read returned wrong bytes")
+	}
+	if h.Stats.StripsRead != 1 {
+		t.Fatalf("StripsRead = %d, want 1", h.Stats.StripsRead)
+	}
+	if h.Stats.Replans != 0 {
+		t.Fatalf("Replans = %d, want 0", h.Stats.Replans)
+	}
+}

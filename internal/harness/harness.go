@@ -82,6 +82,7 @@ func Registry() []Experiment {
 		{ID: "degraded", Title: "Degraded-read latency under load: LRC vs RS vs SD (extension)", Run: runDegraded},
 		{ID: "pipeline", Title: "Batch pipeline vs serial per-stripe loop (extension)", Run: runPipelineExp},
 		{ID: "chaos", Title: "Chaos storm: checksummed degraded reads under injected faults (extension)", Run: runChaos},
+		{ID: "repair", Title: "Minimal-read repair vs full decode; delta updates vs re-encode (extension)", Run: runRepair},
 	}
 }
 

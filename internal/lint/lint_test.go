@@ -15,6 +15,10 @@ func TestHotAllocXorplanFixture(t *testing.T) {
 	RunFixture(t, ".", HotAlloc, "hotalloc/xp")
 }
 
+func TestHotAllocRepairFixture(t *testing.T) {
+	RunFixture(t, ".", HotAlloc, "hotalloc/repair")
+}
+
 func TestFaultFreeFixture(t *testing.T) {
 	RunFixture(t, ".", FaultFree, "faultfree/a")
 }
@@ -35,12 +39,17 @@ func TestStatsAccountXorplanFixture(t *testing.T) {
 	RunFixture(t, ".", StatsAccount, "statsaccount/xp")
 }
 
+func TestStatsAccountRepairFixture(t *testing.T) {
+	RunFixture(t, ".", StatsAccount, "statsaccount/repair")
+}
+
 // TestStatsAccountScope pins the implementing packages out of scope:
 // gf and xorplan provide the primitives, everyone else accounts them.
 func TestStatsAccountScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"ppm/internal/kernel":  true,
 		"ppm/internal/core":    true,
+		"ppm/internal/repair":  true,
 		"ppm/internal/gf":      false,
 		"ppm/internal/xorplan": false,
 	} {

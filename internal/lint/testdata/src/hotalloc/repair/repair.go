@@ -1,0 +1,44 @@
+// Package repair is the hotalloc fixture for the repair executor
+// idiom: the annotated per-step loop must stay allocation-free by
+// reslicing a pooled view arena, while the un-annotated plan builder
+// is free to allocate — plans are built once and cached.
+package repair
+
+// plan mirrors the shape of a compiled repair plan.
+type plan struct{ nviews, sector int }
+
+type runState struct {
+	views [][]byte
+}
+
+// execute is the cold entry point: arena setup allocates here, outside
+// any //ppm:hotpath region, and the pool amortizes it across runs.
+func (p *plan) execute(in, out [][]byte, lo, hi int) {
+	st := &runState{views: make([][]byte, 0, p.nviews)}
+	p.run(st, in, out, lo, hi)
+}
+
+// run is the hot loop: taking column views by reslicing the pooled
+// arena is fine, growing it is not.
+//
+//ppm:hotpath
+func (p *plan) run(st *runState, in, out [][]byte, lo, hi int) {
+	views := st.views[:len(in)]
+	for i := range in {
+		views[i] = in[i][lo:hi:hi]
+	}
+	for i := range out {
+		copy(out[i][lo:hi], views[i%len(views)])
+	}
+}
+
+// badRun rebuilds its view arena per step inside the hot region:
+// flagged.
+//
+//ppm:hotpath
+func (p *plan) badRun(st *runState, in [][]byte, lo, hi int) {
+	st.views = make([][]byte, len(in)) // want "make allocates in a hot path"
+	for i := range in {
+		st.views = append(st.views, in[i][lo:hi]) // want "append may grow"
+	}
+}

@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/stripe"
+)
+
+// partialSource fills only the columns the engine declared it needs,
+// scribbling every other survivor — proving the partial plan never
+// consumes an unfilled sector.
+type partialSource struct {
+	stripes []*stripe.Stripe
+	cols    []int
+	skip    []int
+}
+
+func (s *partialSource) Next(idx int, slab *stripe.Stripe) (*stripe.Stripe, error) {
+	if idx >= len(s.stripes) {
+		return nil, nil
+	}
+	src := s.stripes[idx]
+	for i := 0; i < slab.TotalSectors(); i++ {
+		clear(slab.Sector(i))
+	}
+	for _, c := range s.cols {
+		copy(slab.Sector(c), src.Sector(c))
+	}
+	slab.Scribble(int64(idx)+101, s.skip)
+	return slab, nil
+}
+
+type collectSink struct{ got []*stripe.Stripe }
+
+func (s *collectSink) Drain(idx int, st *stripe.Stripe) error {
+	s.got = append(s.got, st.Clone())
+	return nil
+}
+
+// TestPartialReadFillPath: with Config.Wanted set, the engine runs the
+// minimal repair plan, ReadColumns names the only sectors the Source
+// must fill, and the wanted output is byte-identical to the original.
+func TestPartialReadFillPath(t *testing.T) {
+	lrc, err := codes.NewLRC(12, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sector, stripes = 64, 5
+	sc, err := codes.NewScenario(lrc, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var origs []*stripe.Stripe
+	for i := 0; i < stripes; i++ {
+		st, err := stripe.New(lrc.NumStrips(), lrc.NumRows(), sector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.FillDataRandom(int64(i)+7, codes.DataPositions(lrc))
+		if err := core.NewDecoder(lrc).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		origs = append(origs, st)
+	}
+
+	eng, err := New(lrc, sc, sector, Config{Depth: 2, Workers: 2, Wanted: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	cols := eng.ReadColumns()
+	if len(cols) == 0 || len(cols) >= codes.TotalSectors(lrc)-1 {
+		t.Fatalf("ReadColumns = %v, want a strict subset of the survivors", cols)
+	}
+	// Sectors neither wanted nor read: scribbled by the source.
+	colSet := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+	var skip []int
+	for i := 0; i < codes.TotalSectors(lrc); i++ {
+		if !colSet[i] && i != 3 {
+			skip = append(skip, i)
+		}
+	}
+
+	src := &partialSource{stripes: origs, cols: cols, skip: skip}
+	sink := &collectSink{}
+	n, err := eng.Run(src, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != stripes {
+		t.Fatalf("processed %d stripes, want %d", n, stripes)
+	}
+	for i, got := range sink.got {
+		if !bytes.Equal(got.Sector(3), origs[i].Sector(3)) {
+			t.Fatalf("stripe %d: wanted sector differs from original", i)
+		}
+	}
+
+	// Full-stripe engines report no restriction.
+	full, err := New(lrc, sc, sector, Config{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if full.ReadColumns() != nil {
+		t.Fatalf("full engine ReadColumns = %v, want nil", full.ReadColumns())
+	}
+}
+
+// TestSerialPartialMatchesEngine: the Serial baseline honours Wanted
+// identically.
+func TestSerialPartialMatchesEngine(t *testing.T) {
+	lrc, err := codes.NewLRC(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sector = 64
+	sc, err := codes.NewScenario(lrc, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stripe.New(lrc.NumStrips(), lrc.NumRows(), sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FillDataRandom(3, codes.DataPositions(lrc))
+	if err := core.NewDecoder(lrc).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	orig := st.Clone()
+	st.Scribble(9, sc.Faulty)
+
+	src := &partialSource{stripes: []*stripe.Stripe{st}}
+	// Serial path: fill everything (cols = all survivors).
+	for i := 0; i < st.TotalSectors(); i++ {
+		if i != 2 {
+			src.cols = append(src.cols, i)
+		}
+	}
+	sink := &collectSink{}
+	n, err := Serial(lrc, sc, sector, Config{Wanted: []int{2}}, src, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("processed %d stripes, want 1", n)
+	}
+	if !bytes.Equal(sink.got[0].Sector(2), orig.Sector(2)) {
+		t.Fatal("serial partial decode differs from original")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"ppm/internal/codes"
 	"ppm/internal/core"
 	"ppm/internal/kernel"
+	"ppm/internal/repair"
 	"ppm/internal/stripe"
 )
 
@@ -95,6 +97,13 @@ type Config struct {
 	// internal/tune (the root ppm package does); without a registered
 	// resolver Auto is a no-op and the static defaults above apply.
 	Auto bool
+	// Wanted switches the compute stage to the minimal-read repair
+	// plan that materialises just these sectors of the scenario — the
+	// partial-read fill path: a degraded read of specific blocks runs
+	// only their survivor closure, and Engine.ReadColumns reports
+	// which sectors the Source must fill (survivor slices outside it
+	// are never touched). Nil keeps the full-stripe decode.
+	Wanted []int
 }
 
 // job is one in-flight stripe. The engine pre-allocates Depth jobs and
@@ -114,11 +123,12 @@ type job struct {
 //
 //ppm:nocopy
 type Engine struct {
-	code codes.Code
-	sc   codes.Scenario
-	dec  *core.Decoder
-	plan *core.Plan // nil for the empty scenario: a pure passthrough
-	cfg  Config
+	code  codes.Code
+	sc    codes.Scenario
+	dec   *core.Decoder
+	plan  *core.Plan   // nil for the empty scenario: a pure passthrough
+	rplan *repair.Plan // partial-read repair plan when Config.Wanted is set
+	cfg   Config
 
 	free  chan *job     // recycled jobs (capacity Depth)
 	work  chan *job     // fill → compute (capacity Depth)
@@ -223,11 +233,19 @@ func New(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config) (*Engine, 
 		core.WithStrategy(cfg.Strategy),
 		core.WithStats(cfg.Stats))
 	if len(sc.Faulty) > 0 {
-		plan, err := core.BuildPlan(c, sc, cfg.Strategy)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: %w", err)
+		if len(cfg.Wanted) > 0 {
+			rp, err := repair.NewPlanner(c).Plan(sc, cfg.Wanted)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: %w", err)
+			}
+			e.rplan = rp
+		} else {
+			plan, err := core.BuildPlan(c, sc, cfg.Strategy)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: %w", err)
+			}
+			e.plan = plan
 		}
-		e.plan = plan
 	}
 	for i := 0; i < cfg.Depth; i++ {
 		j := &job{done: make(chan error, 1)}
@@ -537,10 +555,39 @@ func (e *Engine) compute(j *job) error {
 			return err
 		}
 	}
+	if e.rplan != nil {
+		return e.rplan.Execute(j.st, e.cfg.Stats)
+	}
 	if e.plan == nil {
 		return nil
 	}
 	return e.dec.DecodeWithPlan(e.plan, j.st)
+}
+
+// ReadColumns reports which sectors a fill Source must materialise
+// per stripe: with Config.Wanted set, the repair plan's survivor
+// columns plus the wanted live sectors, sorted; nil means every
+// sector (full-stripe decode or passthrough).
+func (e *Engine) ReadColumns() []int {
+	if e.rplan == nil {
+		return nil
+	}
+	faulty := e.sc.FaultySet()
+	cols := make(map[int]bool, len(e.rplan.ReadCols)+len(e.cfg.Wanted))
+	for _, c := range e.rplan.ReadCols {
+		cols[c] = true
+	}
+	for _, w := range e.cfg.Wanted {
+		if !faulty[w] {
+			cols[w] = true
+		}
+	}
+	out := make([]int, 0, len(cols))
+	for c := range cols {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Serial is the fixed serial per-stripe loop the pipeline is compared
@@ -558,12 +605,21 @@ func Serial(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config, src Sou
 		core.WithStrategy(cfg.Strategy),
 		core.WithStats(cfg.Stats))
 	var plan *core.Plan
+	var rplan *repair.Plan
 	if len(sc.Faulty) > 0 {
-		p, err := core.BuildPlan(c, sc, cfg.Strategy)
-		if err != nil {
-			return 0, fmt.Errorf("pipeline: %w", err)
+		if len(cfg.Wanted) > 0 {
+			rp, err := repair.NewPlanner(c).Plan(sc, cfg.Wanted)
+			if err != nil {
+				return 0, fmt.Errorf("pipeline: %w", err)
+			}
+			rplan = rp
+		} else {
+			p, err := core.BuildPlan(c, sc, cfg.Strategy)
+			if err != nil {
+				return 0, fmt.Errorf("pipeline: %w", err)
+			}
+			plan = p
 		}
-		plan = p
 	}
 	var slab *stripe.Stripe
 	if sectorSize > 0 {
@@ -581,7 +637,11 @@ func Serial(c codes.Code, sc codes.Scenario, sectorSize int, cfg Config, src Sou
 		if st == nil {
 			return idx, nil
 		}
-		if plan != nil {
+		if rplan != nil {
+			if err := rplan.Execute(st, cfg.Stats); err != nil {
+				return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
+			}
+		} else if plan != nil {
 			if err := dec.DecodeWithPlan(plan, st); err != nil {
 				return idx, fmt.Errorf("pipeline: stripe %d: %w", idx, err)
 			}

@@ -347,7 +347,14 @@ func TestPoolCheckoutRacesPoisoning(t *testing.T) {
 	}
 	defer p.Close()
 
+	// One batch per runner: SliceSource hands over caller-owned
+	// stripes, so concurrent Runs must not share them — two checked-out
+	// engines encoding the same stripe is a real data race.
 	batch := retryBatch(t, sd, 2, 64)
+	batches := make([][]*stripe.Stripe, 4)
+	for g := range batches {
+		batches[g] = retryBatch(t, sd, 2, 64)
+	}
 	stop := make(chan struct{})
 	var poisoner sync.WaitGroup
 	poisoner.Add(1)
@@ -370,7 +377,7 @@ func TestPoolCheckoutRacesPoisoning(t *testing.T) {
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
-		go func() {
+		go func(batch []*stripe.Stripe) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
 				_, err := p.Run(SliceSource(batch), NopSink{})
@@ -379,7 +386,7 @@ func TestPoolCheckoutRacesPoisoning(t *testing.T) {
 					return
 				}
 			}
-		}()
+		}(batches[g])
 	}
 	wg.Wait()
 	close(stop)

@@ -1,0 +1,161 @@
+package repair
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+)
+
+// DefaultCacheSize bounds a Planner's plan cache. A rebuild or
+// degraded-read workload sees a handful of distinct (failure pattern,
+// wanted set) signatures, so a small LRU holds the working set.
+const DefaultCacheSize = 64
+
+// Planner builds and caches minimal-read repair plans for one code.
+// Safe for concurrent use: the cache is mutex-guarded and cached plans
+// are immutable.
+type Planner struct {
+	code codes.Code
+
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      list.List // Front is most recently used; values are *cacheEntry
+	hits     int64
+	misses   int64
+
+	updater    *core.Updater
+	updaterErr error
+	updaterSet bool
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// PlannerOption configures a Planner.
+type PlannerOption func(*Planner)
+
+// WithCacheSize bounds the plan cache; capacity <= 0 disables caching.
+func WithCacheSize(capacity int) PlannerOption {
+	return func(p *Planner) { p.capacity = capacity }
+}
+
+// NewPlanner builds a repair planner for the code.
+func NewPlanner(c codes.Code, opts ...PlannerOption) *Planner {
+	p := &Planner{code: c, capacity: DefaultCacheSize}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.capacity > 0 {
+		p.entries = make(map[string]*list.Element, p.capacity)
+	}
+	return p
+}
+
+// Code returns the bound code instance.
+func (p *Planner) Code() codes.Code { return p.code }
+
+// planKey canonicalises (failure pattern, wanted set) into a byte key.
+// Scenario.Faulty is sorted; wanted is canonicalised by the builder,
+// so the caller's order is normalised here too.
+func planKey(buf []byte, sc codes.Scenario, wanted []int) []byte {
+	for _, f := range sc.Faulty {
+		buf = strconv.AppendInt(buf, int64(f), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	if wanted == nil {
+		buf = append(buf, '*')
+		return buf
+	}
+	for _, w := range wanted {
+		buf = strconv.AppendInt(buf, int64(w), 10)
+		buf = append(buf, ',')
+	}
+	return buf
+}
+
+// Plan returns the minimal-read repair plan recovering the wanted
+// faulty sectors of the scenario (nil wanted = every faulty sector),
+// consulting the LRU cache first. Wanted sectors that are not faulty
+// are ignored — they are readable as-is.
+func (p *Planner) Plan(sc codes.Scenario, wanted []int) (*Plan, error) {
+	if p.entries == nil {
+		return buildPlan(p.code, sc, wanted)
+	}
+	var arr [128]byte
+	key := planKey(arr[:0], sc, wanted)
+	p.mu.Lock()
+	if elem, ok := p.entries[string(key)]; ok {
+		p.lru.MoveToFront(elem)
+		p.hits++
+		plan := elem.Value.(*cacheEntry).plan
+		p.mu.Unlock()
+		return plan, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	plan, err := buildPlan(p.code, sc, wanted)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if elem, ok := p.entries[string(key)]; ok {
+		// A concurrent miss built the same plan; keep the newer one.
+		elem.Value.(*cacheEntry).plan = plan
+		p.lru.MoveToFront(elem)
+	} else {
+		for p.lru.Len() >= p.capacity {
+			oldest := p.lru.Back()
+			p.lru.Remove(oldest)
+			delete(p.entries, oldest.Value.(*cacheEntry).key)
+		}
+		k := string(key)
+		p.entries[k] = p.lru.PushFront(&cacheEntry{key: k, plan: plan})
+	}
+	p.mu.Unlock()
+	return plan, nil
+}
+
+// CacheStats reports the plan cache's hit and miss counters (both zero
+// when the cache is disabled). Misses equal the number of plans built.
+func (p *Planner) CacheStats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Updater returns the planner's memoized delta-parity updater — the
+// read-modify-write small-write path that patches the parity sectors
+// one data-strip overwrite touches instead of re-encoding the stripe.
+func (p *Planner) Updater() (*core.Updater, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.updaterSet {
+		p.updater, p.updaterErr = core.NewUpdater(p.code)
+		p.updaterSet = true
+	}
+	return p.updater, p.updaterErr
+}
+
+// DeltaCost reports the sectors a delta update of dataIdx touches
+// (read old data + parity, write new data + parity: 1 + column nnz)
+// against the sectors a full re-encode moves (the whole stripe), the
+// comparison behind the ≥2x delta-update gate.
+func (p *Planner) DeltaCost(dataIdx int) (deltaSectors, reencodeSectors int, err error) {
+	u, err := p.Updater()
+	if err != nil {
+		return 0, 0, err
+	}
+	nnz, err := u.UpdateCost(dataIdx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 1 + nnz, codes.TotalSectors(p.code), nil
+}
