@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic bench-repair tune experiments paper fmt fmt-check vet lint fuzz-smoke checkptr chaos check clean
+.PHONY: all build test test-short race cover bench bench-kernel bench-pipeline bench-traffic bench-repair tune experiments paper fmt fmt-check vet lint verify-plans fuzz-smoke checkptr chaos check clean
 
 all: check
 
@@ -86,6 +86,14 @@ vet:
 lint:
 	$(GO) run ./cmd/ppmlint ./...
 
+# Symbolically prove every compiled plan in the code zoo — XOR
+# programs, set schedules, decode plans, repair plans and delta
+# updaters — equal to their coefficient matrices, across all three
+# kernel backends. Exits non-zero with an op-level diagnosis on the
+# first unprovable plan.
+verify-plans:
+	$(GO) run ./cmd/ppmverify
+
 # Short differential-fuzz burst over every fuzz target. Each target
 # needs its own `go test -fuzz` invocation (the tool refuses multiple
 # matches), so the list is explicit.
@@ -96,6 +104,7 @@ fuzz-smoke:
 	$(GO) test ./internal/gf -run=^$$ -fuzz=FuzzFusedAgainstScalar -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bitmatrix -run=^$$ -fuzz=FuzzExpandApply -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xorplan -run=^$$ -fuzz=FuzzProgramVsScalar -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/planverify -run=^$$ -fuzz=FuzzVerifierVsDifferential -fuzztime=$(FUZZTIME)
 
 # Pointer-safety instrumentation over the packages that sit on the
 # Go/assembly boundary.
@@ -112,7 +121,7 @@ chaos:
 	$(GO) test ./cmd/ppmfile -run 'TestChaosDecodeStorm|TestScrubRebuildsMissingDisk|TestDecodeTornWriteCaught' -v
 	$(GO) run ./cmd/ppmbench -exp chaos -seed $(CHAOS_SEED)
 
-check: build fmt-check vet lint test race
+check: build fmt-check vet lint test race verify-plans
 
 clean:
 	$(GO) clean ./...

@@ -7,15 +7,18 @@
 //
 // Usage:
 //
-//	ppmlint [-checks list] [-list] [packages...]
+//	ppmlint [-checks list] [-list] [-json] [packages...]
 //
 // Packages default to ./... in the current directory. The exit status
 // is 1 when any diagnostic is reported, so `make lint` fails the build
 // on a violation; intentional deviations are suppressed in the source
 // with `//ppm:allow(<analyzer>) <reason>` — the reason is mandatory.
+// -json emits the diagnostics as a JSON array (one object per finding,
+// with position, analyzer and message) for CI artifact consumers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ppmlint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
@@ -64,8 +68,20 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{} // emit [] rather than null
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ppmlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ppmlint: %d finding(s)\n", len(diags))

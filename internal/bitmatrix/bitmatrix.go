@@ -79,6 +79,17 @@ func (bm *BitMatrix) W() int { return bm.w }
 // output symbol).
 func (bm *BitMatrix) Ones() int { return bm.ones }
 
+// BitRows returns the total bit-row count (Rows * W).
+func (bm *BitMatrix) BitRows() int { return len(bm.schedule) }
+
+// BitRow returns bit-row i as a copy of its input-packet column list —
+// output packet i is the XOR of exactly these input packets. This is
+// the ground truth the symbolic plan verifier compares optimised
+// schedules against.
+func (bm *BitMatrix) BitRow(i int) []int {
+	return append([]int(nil), bm.schedule[i]...)
+}
+
 // Apply computes out ^= BM * in over bit-packets: in holds cols*w input
 // packets, out holds rows*w output packets, all of equal length.
 // Callers wanting out = BM * in must zero out first.

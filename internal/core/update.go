@@ -78,6 +78,36 @@ func (u *Updater) UpdateCost(dataIdx int) (int, error) {
 	return len(u.columns[j]), nil
 }
 
+// UpdateTerm is one parity patch of a delta update, exported for the
+// symbolic plan verifier: updating data sector j by delta applies
+// parity[Parity] ^= Coeff * delta.
+type UpdateTerm struct {
+	// Parity is the global sector index of the patched parity.
+	Parity int
+	// Coeff is the GF coefficient the delta is multiplied by.
+	Coeff uint32
+}
+
+// DataSectors returns the data sector indices the updater accepts, in
+// G's column order. The returned slice is a copy.
+func (u *Updater) DataSectors() []int { return append([]int(nil), u.data...) }
+
+// Terms returns the compiled delta-update column for the given data
+// sector: the (parity sector, coefficient) pairs UpdateRange applies.
+// The verifier proves H · (e_j + Σ Coeff·e_Parity) = 0 from these —
+// i.e. that a delta-patched stripe stays a codeword.
+func (u *Updater) Terms(dataIdx int) ([]UpdateTerm, error) {
+	j, ok := u.dataAt[dataIdx]
+	if !ok {
+		return nil, fmt.Errorf("core: sector %d is not a data sector", dataIdx)
+	}
+	terms := make([]UpdateTerm, len(u.columns[j]))
+	for i, t := range u.columns[j] {
+		terms[i] = UpdateTerm{Parity: u.parity[t.parityRow], Coeff: t.mult.Coefficient()}
+	}
+	return terms, nil
+}
+
 // deltaPool recycles the old⊕new scratch region, so the repeated
 // small-write path — thousands of strip overwrites against the same
 // code — allocates nothing per update.

@@ -1,0 +1,186 @@
+package planverify
+
+import (
+	"fmt"
+
+	"ppm/internal/bitmatrix"
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+)
+
+// Set schedules live over GF(2): every source (input packet or CSE
+// temp) is a bitset over the InCount inputs, temps XOR two earlier
+// sources, ops XOR sources into rows. The symbolic walk mirrors
+// the xorplan one with []uint64 bitsets as the coefficient domain.
+
+const objSetSchedule = "set-schedule"
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]>>uint(i%64)&1 == 1 }
+func (b bitset) xor(o bitset) {
+	for i := range b {
+		b[i] ^= o[i]
+	}
+}
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+func (b bitset) eq(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiff returns the lowest bit index where the two sets differ.
+func (b bitset) firstDiff(o bitset) int {
+	for i := range b {
+		if d := b[i] ^ o[i]; d != 0 {
+			for j := 0; j < 64; j++ {
+				if d>>uint(j)&1 == 1 {
+					return i*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// VerifySchedule proves an optimised bit-matrix schedule equivalent to
+// the plain expansion of its source coefficient matrix: every output
+// bit-packet must XOR together exactly the input packets the
+// unoptimised BitMatrix.Apply would.
+func VerifySchedule(f gf.Field, m *matrix.Matrix, s *bitmatrix.Schedule) []Finding {
+	bm := bitmatrix.Expand(f, m)
+	truth := make([][]int, bm.BitRows())
+	for i := range truth {
+		truth[i] = bm.BitRow(i)
+	}
+	return VerifySetSchedule(s.Program(), truth)
+}
+
+// VerifySetSchedule proves a scheduled XOR program equal to its ground
+// truth: truth[i] lists the input source ids (all < InCount) whose XOR
+// row i must compute. Structural passes ride the same walk: temp
+// ordering, dead temps, write-once rows, derivative alias discipline
+// and the XORCount metric.
+func VerifySetSchedule(p *bitmatrix.SetSchedule, truth [][]int) []Finding {
+	var fs []Finding
+	report := func(pass string, op int, format string, args ...interface{}) {
+		fs = append(fs, Finding{Object: objSetSchedule, Pass: pass, OpIndex: op,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	if p.Rows != len(truth) {
+		report("structure", -1, "schedule computes %d rows, ground truth has %d", p.Rows, len(truth))
+		return fs
+	}
+	if p.InCount < 0 {
+		report("structure", -1, "negative input count %d", p.InCount)
+		return fs
+	}
+
+	// Materialise temp bitsets in order. A temp may reference inputs and
+	// strictly earlier temps only — a forward reference reads a packet
+	// the executor has not written yet (stale pooled memory at runtime).
+	temps := make([]bitset, len(p.Temps))
+	tempUsed := make([]bool, len(p.Temps))
+	source := func(id, op int, kind string) bitset {
+		switch {
+		case id < 0 || id >= p.InCount+len(p.Temps):
+			report("bounds", op, "%s references source %d, outside %d inputs and %d temps",
+				kind, id, p.InCount, len(p.Temps))
+		case id < p.InCount:
+			b := newBitset(p.InCount)
+			b.set(id)
+			return b
+		case temps[id-p.InCount] == nil:
+			report("liveness", op, "%s reads temp %d before it is materialised", kind, id-p.InCount)
+		default:
+			tempUsed[id-p.InCount] = true
+			return temps[id-p.InCount]
+		}
+		return newBitset(p.InCount)
+	}
+	for t, def := range p.Temps {
+		b := source(def[0], -1, fmt.Sprintf("temp %d", t)).clone()
+		b.xor(source(def[1], -1, fmt.Sprintf("temp %d", t)))
+		temps[t] = b
+	}
+
+	rows := make([]bitset, p.Rows)
+	for oi, op := range p.Ops {
+		if op.Dst < 0 || op.Dst >= p.Rows {
+			report("bounds", oi, "op writes row %d of %d", op.Dst, p.Rows)
+			continue
+		}
+		if rows[op.Dst] != nil {
+			report("structure", oi, "row %d is written twice", op.Dst)
+			continue
+		}
+		b := newBitset(p.InCount)
+		if op.From != -1 {
+			switch {
+			case op.From < 0 || op.From >= p.Rows:
+				report("bounds", oi, "op derives from row %d of %d", op.From, p.Rows)
+			case op.From == op.Dst:
+				report("alias", oi, "op derives row %d from itself", op.Dst)
+			case rows[op.From] == nil:
+				report("alias", oi, "op derives from row %d before it is written", op.From)
+			default:
+				b = rows[op.From].clone()
+			}
+		}
+		for _, s := range op.Srcs {
+			b.xor(source(s, oi, "op"))
+		}
+		rows[op.Dst] = b
+
+		want := newBitset(p.InCount)
+		bad := false
+		for _, c := range truth[op.Dst] {
+			if c < 0 || c >= p.InCount {
+				report("structure", oi, "ground truth for row %d references input %d of %d", op.Dst, c, p.InCount)
+				bad = true
+				break
+			}
+			want.set(c)
+		}
+		if !bad && !b.eq(want) {
+			d := b.firstDiff(want)
+			verb := "is missing"
+			if b.has(d) {
+				verb = "spuriously includes"
+			}
+			report("symbolic", oi, "row %d %s input packet %d", op.Dst, verb, d)
+		}
+	}
+	for r, b := range rows {
+		if b == nil {
+			report("structure", -1, "row %d is never written", r)
+		}
+	}
+	for t, used := range tempUsed {
+		if temps[t] != nil && !used {
+			report("liveness", -1, "temp %d is materialised but never read", t)
+		}
+	}
+
+	// XORCount metric: 2 per temp (copy + XOR), |Srcs| per op, +1 per
+	// derivative op for the parent copy — the number the xorplan cost
+	// model and the schedule-quality benchmarks consume.
+	want := 2 * len(p.Temps)
+	for _, op := range p.Ops {
+		want += len(op.Srcs)
+		if op.From >= 0 {
+			want++
+		}
+	}
+	if p.XORCount != want {
+		report("stats", -1, "schedule reports %d XORs, its ops perform %d", p.XORCount, want)
+	}
+	return fs
+}

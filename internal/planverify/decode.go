@@ -1,0 +1,287 @@
+package planverify
+
+import (
+	"fmt"
+
+	"ppm/internal/codes"
+	"ppm/internal/core"
+	"ppm/internal/gf"
+	"ppm/internal/kernel"
+	"ppm/internal/matrix"
+)
+
+// Decode plans and repair plans are proven through row-space
+// membership, not matrix comparison, because many distinct recovery
+// expressions are simultaneously correct (any basis of H's equations
+// works). A plan recovers faulty sector c as a linear functional
+//
+//	c = Σ_s v[s] · sector_s        (s over the sectors it reads)
+//
+// and that expression is correct on EVERY codeword — not just sampled
+// ones — iff the residual e_c + Σ v[s]·e_s is a GF-linear combination
+// of H's rows: each parity-check row vanishes on codewords, so any
+// row-space member does, and conversely a functional vanishing on the
+// whole code lies in the row space (the code is exactly ker H). The
+// rank test below is that statement made executable.
+
+const (
+	objDecodePlan = "decode-plan"
+	objUpdater    = "updater"
+)
+
+// inRowSpace reports whether the residual vector lies in the row space
+// of h: rank(h) must not grow when the residual is appended.
+func inRowSpace(h *matrix.Matrix, residual []uint32) bool {
+	rows := make([][]uint32, 0, h.Rows()+1)
+	for i := 0; i < h.Rows(); i++ {
+		rows = append(rows, h.Row(i))
+	}
+	base := matrix.FromRows(h.Field(), rows).Rank()
+	rows = append(rows, residual)
+	return matrix.FromRows(h.Field(), rows).Rank() == base
+}
+
+// decodeState accumulates the recovery expressions a plan builds up
+// stage by stage: expr[c] is non-nil once sector c has been recovered,
+// holding its coefficient vector over the originally surviving sectors.
+type decodeState struct {
+	f        gf.Field
+	h        *matrix.Matrix
+	total    int
+	faulty   map[int]bool
+	expr     map[int][]uint32
+	findings []Finding
+}
+
+func (st *decodeState) reportf(pass string, op int, format string, args ...interface{}) {
+	st.findings = append(st.findings, Finding{Object: objDecodePlan, Pass: pass, OpIndex: op,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// available resolves a survivor reference at one plan stage: originally
+// surviving sectors are themselves; faulty sectors are usable only when
+// an earlier stage recovered them and the stage is allowed to consume
+// recovered outputs (the merging H_rest stage is, parallel groups are
+// not — they run concurrently and must not read each other's outputs).
+func (st *decodeState) available(s, op int, allowRecovered bool) []uint32 {
+	if s < 0 || s >= st.total {
+		st.reportf("bounds", op, "survivor column %d outside the %d-sector stripe", s, st.total)
+		return make([]uint32, st.total)
+	}
+	if !st.faulty[s] {
+		v := make([]uint32, st.total)
+		v[s] = 1
+		return v
+	}
+	if e := st.expr[s]; e != nil {
+		if !allowRecovered {
+			st.reportf("alias", op, "parallel group reads faulty sector %d, recovered only by a concurrent stage", s)
+		}
+		return e
+	}
+	st.reportf("alias", op, "stage reads faulty sector %d before any stage recovers it", s)
+	return make([]uint32, st.total)
+}
+
+// effectiveMatrix returns the recovery matrix one stage applies under
+// its sequence: G for MatrixFirst, the Finv*S product for Normal.
+func effectiveMatrix(sd *core.SubDecode) *matrix.Matrix {
+	if sd.Seq == kernel.MatrixFirst {
+		return sd.G
+	}
+	if sd.Finv != nil && sd.S != nil {
+		return sd.Finv.Mul(sd.S)
+	}
+	return nil
+}
+
+// subDecode verifies one matrix-decoding stage of a plan. op indexes
+// the stage for diagnostics (groups in order, then rest/whole).
+func (st *decodeState) subDecode(sd *core.SubDecode, op int, allowRecovered bool) {
+	r := effectiveMatrix(sd)
+	if r == nil {
+		st.reportf("structure", op, "stage carries no matrix for sequence %v", sd.Seq)
+		return
+	}
+	if sd.G != nil && sd.Finv != nil && sd.S != nil && !sd.G.Equal(sd.Finv.Mul(sd.S)) {
+		// The two sequences must compute the same algebra; a divergent G
+		// means the MatrixFirst and Normal paths decode differently.
+		st.reportf("structure", op, "stage's G is not Finv * S: the two sequences disagree")
+	}
+	if r.Rows() != len(sd.FaultyCols) || r.Cols() != len(sd.SurvivorCols) {
+		st.reportf("structure", op, "stage matrix is %dx%d for %d faulty and %d survivor columns",
+			r.Rows(), r.Cols(), len(sd.FaultyCols), len(sd.SurvivorCols))
+		return
+	}
+	seen := make(map[int]bool, len(sd.SurvivorCols))
+	exprs := make([][]uint32, len(sd.SurvivorCols))
+	for j, s := range sd.SurvivorCols {
+		if seen[s] {
+			st.reportf("structure", op, "stage reads survivor column %d twice", s)
+		}
+		seen[s] = true
+		exprs[j] = st.available(s, op, allowRecovered)
+	}
+	for i, c := range sd.FaultyCols {
+		if c < 0 || c >= st.total {
+			st.reportf("bounds", op, "faulty column %d outside the %d-sector stripe", c, st.total)
+			continue
+		}
+		if !st.faulty[c] {
+			st.reportf("structure", op, "stage recovers sector %d, which is not faulty", c)
+			continue
+		}
+		if st.expr[c] != nil {
+			st.reportf("structure", op, "sector %d is recovered twice", c)
+			continue
+		}
+		vec := make([]uint32, st.total)
+		for j := range sd.SurvivorCols {
+			if a := r.At(i, j); a != 0 {
+				for t, e := range exprs[j] {
+					if e != 0 {
+						vec[t] ^= st.f.Mul(a, e)
+					}
+				}
+			}
+		}
+		st.expr[c] = vec
+		residual := append([]uint32(nil), vec...)
+		residual[c] ^= 1
+		if !inRowSpace(st.h, residual) {
+			st.reportf("symbolic", op,
+				"sector %d's recovery expression does not lie in H's row space: it decodes wrongly on some codeword", c)
+		}
+	}
+}
+
+// stageCost recomputes one stage's mult_XORs from the matrices its
+// sequence applies — the number Costs.Chosen and Stats.MultXORs
+// accounting are built on.
+func stageCost(sd *core.SubDecode) int64 {
+	if sd.Seq == kernel.MatrixFirst {
+		if sd.G != nil {
+			return int64(sd.G.NNZ())
+		}
+		return 0
+	}
+	if sd.Finv != nil && sd.S != nil {
+		return int64(sd.Finv.NNZ() + sd.S.NNZ())
+	}
+	return 0
+}
+
+// VerifyDecodePlan proves a built core plan: every stage's recovery
+// expression is valid on every codeword, the stages together recover
+// exactly the scenario's faulty sectors, parallel groups never read
+// each other's outputs, and the plan's Chosen cost recomputes from the
+// matrices it will actually apply.
+func VerifyDecodePlan(c codes.Code, p *core.Plan) []Finding {
+	st := &decodeState{
+		f:      c.Field(),
+		h:      c.ParityCheck(),
+		total:  codes.TotalSectors(c),
+		faulty: p.Scenario.FaultySet(),
+		expr:   make(map[int][]uint32),
+	}
+
+	var cost int64
+	stage := 0
+	if p.Whole != nil {
+		if len(p.Groups) > 0 || p.Rest != nil {
+			st.reportf("structure", -1, "plan mixes a whole-matrix stage with PPM stages")
+		}
+		st.subDecode(&p.Whole.SubDecode, stage, false)
+		cost += stageCost(&p.Whole.SubDecode)
+	} else {
+		for i := range p.Groups {
+			st.subDecode(&p.Groups[i], stage, false)
+			cost += stageCost(&p.Groups[i])
+			stage++
+		}
+		if p.Rest != nil {
+			st.subDecode(p.Rest, stage, true)
+			cost += stageCost(p.Rest)
+		}
+	}
+
+	for _, c := range p.Scenario.Faulty {
+		if st.expr[c] == nil {
+			st.reportf("structure", -1, "faulty sector %d is never recovered by any stage", c)
+		}
+	}
+	if p.Costs.Chosen != cost {
+		st.reportf("stats", -1, "plan predicts %d mult_XORs, its matrices perform %d", p.Costs.Chosen, cost)
+	}
+	return st.findings
+}
+
+// VerifyUpdater proves the delta-parity updater: patching data sector j
+// by δ applies parity_p ^= Coeff·δ for each term, so the stripe's
+// change vector is e_j + Σ Coeff·e_p, and the stripe stays a codeword
+// for every δ iff H times that vector is zero.
+func VerifyUpdater(c codes.Code, u *core.Updater) []Finding {
+	var fs []Finding
+	report := func(pass string, format string, args ...interface{}) {
+		fs = append(fs, Finding{Object: objUpdater, Pass: pass, OpIndex: -1,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	h := c.ParityCheck()
+	total := codes.TotalSectors(c)
+	parity := make(map[int]bool, len(c.ParityPositions()))
+	for _, p := range c.ParityPositions() {
+		parity[p] = true
+	}
+
+	data := u.DataSectors()
+	covered := make(map[int]bool, len(data))
+	for _, j := range data {
+		covered[j] = true
+	}
+	for _, j := range codes.DataPositions(c) {
+		if !covered[j] {
+			report("structure", "data sector %d has no delta-update column", j)
+		}
+	}
+
+	for _, j := range data {
+		if j < 0 || j >= total || parity[j] {
+			report("bounds", "updater treats sector %d as data", j)
+			continue
+		}
+		terms, err := u.Terms(j)
+		if err != nil {
+			report("structure", "terms for data sector %d: %v", j, err)
+			continue
+		}
+		if nnz, err := u.UpdateCost(j); err != nil || nnz != len(terms) {
+			report("stats", "data sector %d reports update cost %d for %d terms", j, nnz, len(terms))
+		}
+		change := make([]uint32, total)
+		change[j] = 1
+		seen := make(map[int]bool, len(terms))
+		for _, t := range terms {
+			switch {
+			case t.Parity < 0 || t.Parity >= total:
+				report("bounds", "data sector %d patches sector %d outside the stripe", j, t.Parity)
+			case !parity[t.Parity]:
+				report("structure", "data sector %d patches sector %d, which is not parity", j, t.Parity)
+			case seen[t.Parity]:
+				report("structure", "data sector %d patches parity %d twice", j, t.Parity)
+			case t.Coeff == 0:
+				report("structure", "data sector %d carries a zero-coefficient patch of parity %d", j, t.Parity)
+			default:
+				seen[t.Parity] = true
+				change[t.Parity] ^= t.Coeff
+			}
+		}
+		for i, hv := range h.MulVec(change) {
+			if hv != 0 {
+				report("symbolic",
+					"updating data sector %d breaks parity-check row %d: the patched stripe is not a codeword", j, i)
+				break
+			}
+		}
+	}
+	return fs
+}

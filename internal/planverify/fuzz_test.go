@@ -1,0 +1,70 @@
+package planverify
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+	"ppm/internal/xorplan"
+)
+
+// FuzzVerifierVsDifferential pins the verifier to the concrete scalar
+// oracle from both directions:
+//
+//   - completeness: every program the compiler emits for a random
+//     matrix must verify with zero findings, and the concrete
+//     interpreter must agree with the matrix on random words;
+//   - soundness: when a random single-op mutation is applied, a mutant
+//     the verifier ACCEPTS must still agree with the matrix — the
+//     verifier may over-reject a semantically-neutral mutant on
+//     structural grounds (a dead store is a finding even when the
+//     algebra survives), but it must never under-reject.
+func FuzzVerifierVsDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(5), uint8(0), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(1), uint8(1), uint8(3))
+	f.Add(int64(3), uint8(6), uint8(8), uint8(2), uint8(6))
+	f.Add(int64(4), uint8(4), uint8(2), uint8(0), uint8(2))
+	f.Add(int64(42), uint8(2), uint8(7), uint8(1), uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols, wsel, mutSel uint8) {
+		w := []int{8, 16, 32}[int(wsel)%3]
+		field, err := gf.ForWord(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := 1 + int(rows)%6
+		c := 1 + int(cols)%8
+		rng := rand.New(rand.NewSource(seed))
+		mask := uint32(1)<<uint(w) - 1
+		m := matrix.New(field, r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.Uint32()&mask)
+			}
+		}
+
+		prog, err := xorplan.Compile(field, m)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		orig := prog.View()
+		if fs := VerifyProgramView(field, m, &orig); len(fs) != 0 {
+			t.Fatalf("verifier rejects a freshly compiled program: %v", fs)
+		}
+		if changed := semanticallyChanged(field, m, &orig, rng); changed {
+			t.Fatal("concrete interpreter disagrees with the matrix on a pristine program")
+		}
+
+		mut := mutators[int(mutSel)%len(mutators)]
+		v := copyView(orig)
+		if !mut.fn(rng, &v) {
+			return // mutator inapplicable to this program shape
+		}
+		accepted := len(VerifyProgramView(field, m, &v)) == 0
+		changed := semanticallyChanged(field, m, &v, rng)
+		if accepted && changed {
+			t.Fatalf("verifier accepted a %s mutant the scalar oracle refutes", mut.name)
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package planverify
+
+import (
+	"ppm/internal/codes"
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+	"ppm/internal/repair"
+	"ppm/internal/xorplan"
+)
+
+// The compile-time gate: importing this package installs the symbolic
+// verifier into the xorplan compile cache and the repair planner. Both
+// consult it only when PPM_VERIFY_PLANS=1 (or the SetVerifyPlans test
+// seams) — and only on cache misses, so verification cost is confined
+// to first-compile paths and cached hot paths stay allocation-free.
+// The registration indirection keeps the import graph one-way: this
+// package walks xorplan/repair artifacts, they never import it.
+func init() {
+	xorplan.RegisterVerifier(func(f gf.Field, m *matrix.Matrix, p *xorplan.Program) error {
+		return Error(VerifyProgram(f, m, p))
+	})
+	repair.RegisterVerifier(func(c codes.Code, p *repair.Plan) error {
+		return Error(VerifyRepairPlan(c, p))
+	})
+}

@@ -2,12 +2,66 @@ package repair
 
 import (
 	"container/list"
+	"fmt"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ppm/internal/codes"
 	"ppm/internal/core"
 )
+
+// ErrVerify wraps a plan-verification rejection: a freshly built repair
+// plan failed the registered symbolic verifier and was not admitted to
+// the planner cache.
+var ErrVerify = fmt.Errorf("repair: compiled plan failed plan verification")
+
+// verifier holds the registered plan verifier (func(codes.Code, *Plan)
+// error), installed by internal/planverify's init. The registration
+// indirection keeps the dependency one-way: planverify imports repair
+// to walk plans, never the reverse.
+var verifier atomic.Value
+
+type verifierFn func(codes.Code, *Plan) error
+
+// RegisterVerifier installs the symbolic repair-plan verifier consulted
+// when plan verification is enabled. fn must be safe for concurrent use.
+func RegisterVerifier(fn func(codes.Code, *Plan) error) {
+	verifier.Store(verifierFn(fn))
+}
+
+// verifyPlans mirrors the xorplan gate: compile-time verification is
+// off by default and enabled by PPM_VERIFY_PLANS=1 or SetVerifyPlans.
+// Cache hits never re-verify; only freshly built plans pay the walk.
+var verifyPlans atomic.Bool
+
+func init() {
+	if os.Getenv("PPM_VERIFY_PLANS") == "1" {
+		verifyPlans.Store(true)
+	}
+}
+
+// SetVerifyPlans enables or disables build-time plan verification and
+// returns the previous setting (restore idiom for tests).
+func SetVerifyPlans(on bool) (prev bool) { return verifyPlans.Swap(on) }
+
+// buildVerified builds a plan and, when the gate is on, refuses to
+// return one the registered verifier rejects.
+func buildVerified(c codes.Code, sc codes.Scenario, wanted []int) (*Plan, error) {
+	plan, err := buildPlan(c, sc, wanted)
+	if err != nil {
+		return nil, err
+	}
+	if verifyPlans.Load() {
+		if fn, _ := verifier.Load().(verifierFn); fn != nil {
+			if err := fn(c, plan); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+			}
+		}
+	}
+	return plan, nil
+}
 
 // DefaultCacheSize bounds a Planner's plan cache. A rebuild or
 // degraded-read workload sees a handful of distinct (failure pattern,
@@ -86,7 +140,7 @@ func planKey(buf []byte, sc codes.Scenario, wanted []int) []byte {
 // are ignored — they are readable as-is.
 func (p *Planner) Plan(sc codes.Scenario, wanted []int) (*Plan, error) {
 	if p.entries == nil {
-		return buildPlan(p.code, sc, wanted)
+		return buildVerified(p.code, sc, wanted)
 	}
 	var arr [128]byte
 	key := planKey(arr[:0], sc, wanted)
@@ -101,7 +155,7 @@ func (p *Planner) Plan(sc codes.Scenario, wanted []int) (*Plan, error) {
 	p.misses++
 	p.mu.Unlock()
 
-	plan, err := buildPlan(p.code, sc, wanted)
+	plan, err := buildVerified(p.code, sc, wanted)
 	if err != nil {
 		return nil, err
 	}

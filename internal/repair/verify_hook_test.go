@@ -1,0 +1,117 @@
+package repair_test
+
+// External-package hooks binding the repair planner to the symbolic
+// plan verifier (planverify imports repair, so these live in
+// repair_test). Every plan the planner builds for a spread of failure
+// patterns must verify cleanly, and the PPM_VERIFY_PLANS gate must
+// refuse — without caching — a plan a rejecting verifier vetoes.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ppm/internal/codes"
+	"ppm/internal/planverify"
+	"ppm/internal/repair"
+)
+
+func restoreRealPlanVerifier() {
+	repair.RegisterVerifier(func(c codes.Code, p *repair.Plan) error {
+		return planverify.Error(planverify.VerifyRepairPlan(c, p))
+	})
+}
+
+// TestPlansVerifySymbolically proves every plan shape the planner
+// emits for single and double failures on the published SD instance.
+func TestPlansVerifySymbolically(t *testing.T) {
+	c, err := codes.NewPublishedSD(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := repair.NewPlanner(c)
+	total := codes.TotalSectors(c)
+	for a := 0; a < total; a++ {
+		for b := a; b < total; b++ {
+			var faulty []int
+			if a == b {
+				faulty = []int{a}
+			} else {
+				faulty = []int{a, b}
+			}
+			sc, err := codes.NewScenario(c, faulty)
+			if err != nil || !codes.Decodable(c, sc) {
+				continue
+			}
+			plan, err := pl.Plan(sc, nil)
+			if err != nil {
+				t.Fatalf("faulty=%v: %v", faulty, err)
+			}
+			for _, f := range planverify.VerifyRepairPlan(c, plan) {
+				t.Errorf("faulty=%v: %s", faulty, f)
+			}
+		}
+	}
+}
+
+// TestVerifyGateRefusesRejectedPlans checks the gated build path:
+// a vetoed plan surfaces ErrVerify and is not admitted to the LRU, so
+// the next request (with the verifier restored) rebuilds and succeeds.
+func TestVerifyGateRefusesRejectedPlans(t *testing.T) {
+	defer repair.SetVerifyPlans(repair.SetVerifyPlans(true))
+	defer restoreRealPlanVerifier()
+
+	c, err := codes.NewPublishedSD(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := repair.NewPlanner(c)
+	sc, err := codes.NewScenario(c, []int{2, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("canned rejection")
+	repair.RegisterVerifier(func(codes.Code, *repair.Plan) error { return boom })
+	if _, err := pl.Plan(sc, nil); !errors.Is(err, repair.ErrVerify) {
+		t.Fatalf("gated plan returned %v, want ErrVerify", err)
+	} else if !strings.Contains(err.Error(), "canned rejection") {
+		t.Fatalf("rejection cause lost: %v", err)
+	}
+	if hits, misses := pl.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after one rejected build: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	restoreRealPlanVerifier()
+	plan, err := pl.Plan(sc, nil)
+	if err != nil {
+		t.Fatalf("replan after rejection failed: %v (rejected plan leaked into the cache?)", err)
+	}
+	if _, misses := pl.CacheStats(); misses != 2 {
+		t.Fatalf("replan did not miss (misses=%d): the rejected plan was cached", misses)
+	}
+	for _, f := range planverify.VerifyRepairPlan(c, plan) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVerifyGateCoversUncachedPlanner pins that a cache-disabled
+// planner still routes builds through the gate.
+func TestVerifyGateCoversUncachedPlanner(t *testing.T) {
+	defer repair.SetVerifyPlans(repair.SetVerifyPlans(true))
+	defer restoreRealPlanVerifier()
+
+	c, err := codes.NewPublishedSD(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := repair.NewPlanner(c, repair.WithCacheSize(0))
+	sc, err := codes.NewScenario(c, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repair.RegisterVerifier(func(codes.Code, *repair.Plan) error { return errors.New("no") })
+	if _, err := pl.Plan(sc, nil); !errors.Is(err, repair.ErrVerify) {
+		t.Fatalf("uncached gated plan returned %v, want ErrVerify", err)
+	}
+}

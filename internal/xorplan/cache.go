@@ -3,6 +3,9 @@ package xorplan
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +17,64 @@ import (
 // KiB each; 256 covers every matrix a realistic code family compiles
 // (per-stripe decode matrices included) without unbounded growth.
 const DefaultCacheSize = 256
+
+// ErrVerify wraps a plan-verification rejection: the compiled program
+// failed the registered symbolic verifier and was not admitted to the
+// cache. Callers that silently fall back on other compile failures
+// (kernel.Compile) must NOT swallow this one — a rejected program means
+// the compiler emitted provably wrong code.
+var ErrVerify = errors.New("xorplan: compiled program failed plan verification")
+
+// verifier is the registered plan verifier (a func(gf.Field,
+// *matrix.Matrix, *Program) error), set by internal/planverify's init.
+// The hook indirection exists because planverify must import xorplan to
+// walk programs; registration keeps the dependency one-way, the same
+// RegisterAutoTuner idiom pipeline/tune use.
+var verifier atomic.Value
+
+type verifierFn func(gf.Field, *matrix.Matrix, *Program) error
+
+// RegisterVerifier installs the symbolic plan verifier consulted when
+// plan verification is enabled. fn must be safe for concurrent use.
+func RegisterVerifier(fn func(gf.Field, *matrix.Matrix, *Program) error) {
+	verifier.Store(verifierFn(fn))
+}
+
+// verifyPlans gates compile-time verification: off by default (the
+// verifier costs a symbolic walk per compile), enabled process-wide by
+// PPM_VERIFY_PLANS=1 or SetVerifyPlans. Cache hits never re-verify, so
+// the gate's overhead is confined to cache misses.
+var verifyPlans atomic.Bool
+
+func init() {
+	if os.Getenv("PPM_VERIFY_PLANS") == "1" {
+		verifyPlans.Store(true)
+	}
+}
+
+// SetVerifyPlans enables or disables compile-time plan verification and
+// returns the previous setting (restore idiom for tests).
+func SetVerifyPlans(on bool) (prev bool) { return verifyPlans.Swap(on) }
+
+// VerifyPlansEnabled reports whether compile-time verification is on.
+func VerifyPlansEnabled() bool { return verifyPlans.Load() }
+
+// verifyCompiled runs the registered verifier against a freshly
+// compiled program when the gate is on. A nil return admits the
+// program; ErrVerify-wrapped errors refuse it.
+func verifyCompiled(f gf.Field, m *matrix.Matrix, p *Program) error {
+	if !verifyPlans.Load() {
+		return nil
+	}
+	fn, _ := verifier.Load().(verifierFn)
+	if fn == nil {
+		return nil
+	}
+	if err := fn(f, m, p); err != nil {
+		return fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	return nil
+}
 
 // The cache key is the exact encoded matrix — width, dimensions and
 // every coefficient — not a digest, so distinct matrices can never
@@ -75,6 +136,12 @@ func CompileCached(f gf.Field, m *matrix.Matrix) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Opt-in gate (PPM_VERIFY_PLANS=1): prove the program equals its
+	// matrix before it is admitted to the LRU — misses pay the symbolic
+	// walk, hits stay untouched.
+	if err := verifyCompiled(f, m, prog); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok { // lost a compile race: keep the incumbent
 		c.order.MoveToFront(el)
@@ -95,6 +162,37 @@ func CompileCached(f gf.Field, m *matrix.Matrix) (*Program, error) {
 // CompileCached since process start (or the last ResetCacheStats).
 func CacheStats() (hits, misses int64) {
 	return progCache.hits.Load(), progCache.misses.Load()
+}
+
+// SetCacheCapacity bounds the compiled-program LRU to n entries,
+// evicting the least recently used programs if the cache already holds
+// more, and returns the previous capacity. n <= 0 restores the
+// default. A process serving many code instances from bounded memory
+// (the daemon shape of ROADMAP item 1) sizes the cache here; tests use
+// it to create eviction pressure without hundreds of compiles.
+func SetCacheCapacity(n int) (prev int) {
+	if n <= 0 {
+		n = DefaultCacheSize
+	}
+	c := &progCache
+	c.mu.Lock()
+	prev = c.cap
+	c.cap = n
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	return prev
+}
+
+// CacheLen reports the number of programs currently resident.
+func CacheLen() int {
+	c := &progCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
 }
 
 // ResetCacheStats zeroes the hit/miss counters. Test seam — the cached

@@ -1,0 +1,105 @@
+package xorplan_test
+
+// External-package hooks binding the compile cache to the symbolic
+// plan verifier (internal/planverify imports xorplan, so these live in
+// xorplan_test to keep the import graph acyclic). They prove the
+// PPM_VERIFY_PLANS gate end to end: verified admission on cache miss,
+// ErrVerify refusal without cache pollution, and clean hits afterwards.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ppm/internal/gf"
+	"ppm/internal/matrix"
+	"ppm/internal/planverify"
+	"ppm/internal/xorplan"
+)
+
+// restoreRealVerifier reinstalls the production verifier hook after a
+// test swapped in a canned one.
+func restoreRealVerifier() {
+	xorplan.RegisterVerifier(func(f gf.Field, m *matrix.Matrix, p *xorplan.Program) error {
+		return planverify.Error(planverify.VerifyProgram(f, m, p))
+	})
+}
+
+func randomVerifyMatrix(rng *rand.Rand, f gf.Field, rows, cols int) *matrix.Matrix {
+	mask := uint32(1)<<uint(f.W()) - 1
+	m := matrix.New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Uint32()&mask)
+		}
+	}
+	return m
+}
+
+// TestVerifyGateAdmitsProvenPrograms turns the gate on and compiles a
+// spread of fresh matrices: every one must be admitted (the verifier
+// proves them), and every emitted program must re-verify directly.
+func TestVerifyGateAdmitsProvenPrograms(t *testing.T) {
+	defer xorplan.SetVerifyPlans(xorplan.SetVerifyPlans(true))
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{8, 16, 32} {
+		f, err := gf.ForWord(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			m := randomVerifyMatrix(rng, f, 2+rng.Intn(4), 2+rng.Intn(6))
+			prog, err := xorplan.CompileCached(f, m)
+			if err != nil {
+				t.Fatalf("w=%d: gated compile failed: %v", w, err)
+			}
+			if fs := planverify.VerifyProgram(f, m, prog); len(fs) != 0 {
+				t.Fatalf("w=%d: admitted program fails direct verification: %v", w, fs)
+			}
+		}
+	}
+}
+
+// TestVerifyGateRefusesRejectedPrograms swaps in an always-failing
+// verifier and checks the miss path surfaces ErrVerify without
+// admitting the program — after the real verifier returns, the same
+// matrix compiles cleanly, proving the reject left no cache entry.
+func TestVerifyGateRefusesRejectedPrograms(t *testing.T) {
+	defer xorplan.SetVerifyPlans(xorplan.SetVerifyPlans(true))
+	defer restoreRealVerifier()
+
+	f, err := gf.ForWord(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomVerifyMatrix(rand.New(rand.NewSource(23)), f, 3, 7)
+
+	boom := errors.New("canned rejection")
+	xorplan.RegisterVerifier(func(gf.Field, *matrix.Matrix, *xorplan.Program) error { return boom })
+	if _, err := xorplan.CompileCached(f, m); !errors.Is(err, xorplan.ErrVerify) {
+		t.Fatalf("gated compile returned %v, want ErrVerify", err)
+	}
+
+	restoreRealVerifier()
+	if _, err := xorplan.CompileCached(f, m); err != nil {
+		t.Fatalf("recompile after rejection failed: %v (rejected program leaked into the cache?)", err)
+	}
+}
+
+// TestVerifyGateOffSkipsVerifier pins the default: with the gate off,
+// a rejecting verifier is never consulted.
+func TestVerifyGateOffSkipsVerifier(t *testing.T) {
+	defer xorplan.SetVerifyPlans(xorplan.SetVerifyPlans(false))
+	defer restoreRealVerifier()
+	xorplan.RegisterVerifier(func(gf.Field, *matrix.Matrix, *xorplan.Program) error {
+		return errors.New("must not be called")
+	})
+	f, err := gf.ForWord(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomVerifyMatrix(rand.New(rand.NewSource(31)), f, 2, 5)
+	if _, err := xorplan.CompileCached(f, m); err != nil {
+		t.Fatalf("ungated compile consulted the verifier: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package xorplan
+
+// View is an exported, deep-copied snapshot of a compiled Program — the
+// inspection surface the symbolic plan verifier (internal/planverify)
+// walks to prove a program equal to its source coefficient matrix. The
+// encoding matches the executor's: source references are arena slots
+// when >= 0 and input regions ^ref when negative, instructions run in
+// order materialising the temp arena, then the output ops run in order.
+//
+// A View shares nothing with the Program it was taken from, so callers
+// (mutation harnesses included) may modify it freely.
+type View struct {
+	// W is the field word width in bits; Rows/Cols the output/input
+	// region counts; Slots the temp-arena slot count.
+	W, Rows, Cols, Slots int
+	// XORs is the scheduled region-XOR metric (Program.XORs), Ones the
+	// unscheduled expansion size (Program.Ones).
+	XORs, Ones int
+	Instrs     []ViewInstr
+	Outs       []ViewOut
+}
+
+// ViewInstr is one temp-materialisation step: slot Dst = x ⊗ A when
+// Xtimes, else slot Dst = A ^ B. A and B are slots when >= 0 and input
+// regions ^ref when negative; B is unused for xtimes steps.
+type ViewInstr struct {
+	Xtimes bool
+	Dst    int32
+	A, B   int32
+}
+
+// ViewOut computes one output region: starting from a copy of output
+// row From (-1: from nothing), XOR in the Srcs (slot/input references).
+type ViewOut struct {
+	Dst  int32
+	From int32
+	Srcs []int32
+}
+
+// View returns a deep snapshot of the program.
+func (p *Program) View() View {
+	v := View{
+		W:      p.w,
+		Rows:   p.rows,
+		Cols:   p.cols,
+		Slots:  p.nslots,
+		XORs:   p.xors,
+		Ones:   p.ones,
+		Instrs: make([]ViewInstr, len(p.instrs)),
+		Outs:   make([]ViewOut, len(p.outs)),
+	}
+	for i, ins := range p.instrs {
+		v.Instrs[i] = ViewInstr{Xtimes: ins.kind == opXtimes, Dst: ins.dst, A: ins.a, B: ins.b}
+	}
+	for i := range p.outs {
+		op := &p.outs[i]
+		v.Outs[i] = ViewOut{Dst: op.dst, From: op.from, Srcs: append([]int32(nil), op.srcs...)}
+	}
+	return v
+}

@@ -1,0 +1,9 @@
+package ppm
+
+// The blank import installs the symbolic plan verifier's compile-time
+// hooks into the xorplan compile cache and the repair planner, so any
+// program built through the public API is proven against its source
+// coefficient matrix before cache admission when PPM_VERIFY_PLANS=1
+// (see internal/planverify). The gate is off by default; importing the
+// hook costs nothing on the hot path.
+import _ "ppm/internal/planverify"
